@@ -1,0 +1,164 @@
+// Command dlbbench regenerates every table and figure of the paper's
+// evaluation, plus the ablation experiments, as text tables and CSV.
+//
+// Usage:
+//
+//	dlbbench                  # everything, full scale, to stdout
+//	dlbbench -exp fig5        # one experiment
+//	dlbbench -quick           # reduced problem sizes (same virtual scale)
+//	dlbbench -out results/    # write <name>.txt (and fig9.csv) files
+//
+// Experiments: table1 fig5 fig6 fig7 fig8 fig9 pipeline grain refinements
+// lu baselines hetero
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/trace"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dlbbench:", err)
+	os.Exit(1)
+}
+
+type artifact struct {
+	name    string
+	content string
+	extra   map[string]string // additional files, e.g. CSV
+}
+
+func main() {
+	which := flag.String("exp", "all", "experiment to run (table1, fig5..fig9, pipeline, grain, refinements, lu, baselines, hetero, all)")
+	quick := flag.Bool("quick", false, "reduced problem sizes")
+	out := flag.String("out", "", "directory to write artifacts to (default: stdout)")
+	flag.Parse()
+
+	scale := exp.Full
+	if *quick {
+		scale = exp.Quick
+	}
+	want := func(name string) bool {
+		return *which == "all" || strings.EqualFold(*which, name)
+	}
+
+	var artifacts []artifact
+	add := func(name, content string) {
+		artifacts = append(artifacts, artifact{name: name, content: content})
+	}
+
+	if want("table1") {
+		t, err := exp.Table1()
+		if err != nil {
+			fail(err)
+		}
+		add("table1", t.String())
+	}
+	figs := []struct {
+		name string
+		fn   func(exp.Scale) (*exp.Sweep, error)
+	}{
+		{"fig5", exp.Fig5},
+		{"fig6", exp.Fig6},
+		{"fig7", exp.Fig7},
+		{"fig8", exp.Fig8},
+	}
+	for _, f := range figs {
+		if !want(f.name) {
+			continue
+		}
+		sw, err := f.fn(scale)
+		if err != nil {
+			fail(err)
+		}
+		add(f.name, sw.Render())
+	}
+	if want("fig9") {
+		f, err := exp.Fig9(scale)
+		if err != nil {
+			fail(err)
+		}
+		artifacts = append(artifacts, artifact{
+			name:    "fig9",
+			content: f.Render(),
+			extra: map[string]string{
+				"fig9.csv": trace.CSV(f.Raw, f.Filtered, f.Work),
+			},
+		})
+	}
+	if want("pipeline") {
+		rows, err := exp.AblationPipelining(scale)
+		if err != nil {
+			fail(err)
+		}
+		add("pipeline", exp.RenderPipelining(rows))
+	}
+	if want("grain") {
+		rows, err := exp.AblationGrain(scale)
+		if err != nil {
+			fail(err)
+		}
+		add("grain", exp.RenderGrain(rows))
+	}
+	if want("refinements") {
+		rows, err := exp.AblationRefinements(scale)
+		if err != nil {
+			fail(err)
+		}
+		add("refinements", exp.RenderRefinements(rows))
+	}
+	if want("lu") {
+		res, err := exp.AblationLUAdaptive(scale)
+		if err != nil {
+			fail(err)
+		}
+		add("lu", res.Render())
+	}
+	if want("baselines") {
+		rows, err := exp.Baselines(scale)
+		if err != nil {
+			fail(err)
+		}
+		add("baselines", exp.RenderBaselines(rows))
+	}
+	if want("hetero") {
+		rows, err := exp.Heterogeneous(scale)
+		if err != nil {
+			fail(err)
+		}
+		add("hetero", exp.RenderHeterogeneous(rows))
+	}
+	if len(artifacts) == 0 {
+		fail(fmt.Errorf("unknown experiment %q", *which))
+	}
+
+	if *out == "" {
+		for _, a := range artifacts {
+			fmt.Println(a.content)
+		}
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+	for _, a := range artifacts {
+		path := filepath.Join(*out, a.name+".txt")
+		if err := os.WriteFile(path, []byte(a.content), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", path)
+		for name, content := range a.extra {
+			p := filepath.Join(*out, name)
+			if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Println("wrote", p)
+		}
+	}
+}

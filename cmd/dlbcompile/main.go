@@ -1,0 +1,158 @@
+// Command dlbcompile runs the parallelizing compiler on a library program
+// or a source file and prints the dependence analysis, Table 1 properties,
+// and the generated SPMD program with its communication and load-balancing
+// hooks.
+//
+// Usage:
+//
+//	dlbcompile [-deps] [-table1] [-file src.dlb] [-dist array:dim] [prog]
+//
+// where prog is one of: mm, sor, lu, jacobi, axpy, threshold-relax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/compile"
+	"repro/internal/depend"
+	"repro/internal/lang"
+	"repro/internal/loopir"
+)
+
+func specFor(name string) depend.DistSpec {
+	switch name {
+	case "mm":
+		return depend.DistSpec{Dims: map[string]int{"c": 1, "b": 1}, Loops: []string{"j"}}
+	case "sor":
+		return depend.DistSpec{Dims: map[string]int{"b": 0}, Loops: []string{"j"}}
+	case "lu":
+		return depend.DistSpec{Dims: map[string]int{"a": 1}, Loops: []string{"j"}}
+	case "jacobi":
+		return depend.DistSpec{Dims: map[string]int{"a": 0, "anew": 0}, Loops: []string{"i", "i2"}}
+	case "axpy":
+		return depend.DistSpec{Dims: map[string]int{"x": 0, "y": 0}, Loops: []string{"i"}}
+	case "threshold-relax":
+		return depend.DistSpec{Dims: map[string]int{"v": 1}, Loops: []string{"j"}}
+	}
+	return depend.DistSpec{}
+}
+
+func main() {
+	deps := flag.Bool("deps", false, "print the dependence analysis")
+	table1 := flag.Bool("table1", false, "print Table 1 (application properties) for mm, sor, lu")
+	file := flag.String("file", "", "compile a source file instead of a library program")
+	distFlag := flag.String("dist", "", "distribution directive array:dim[,array:dim...] (for -file; default: automatic)")
+	flag.Parse()
+
+	if *table1 {
+		printTable1()
+		return
+	}
+
+	var prog *loopir.Program
+	var spec depend.DistSpec
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		prog, err = lang.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s:%v\n", *file, err)
+			os.Exit(1)
+		}
+		if *distFlag != "" {
+			spec.Dims = map[string]int{}
+			for _, part := range strings.Split(*distFlag, ",") {
+				kv := strings.SplitN(part, ":", 2)
+				if len(kv) != 2 {
+					fmt.Fprintf(os.Stderr, "bad -dist entry %q (want array:dim)\n", part)
+					os.Exit(1)
+				}
+				dim, err := strconv.Atoi(kv[1])
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bad -dist dimension in %q\n", part)
+					os.Exit(1)
+				}
+				spec.Dims[kv[0]] = dim
+			}
+		}
+	} else {
+		name := "sor"
+		if flag.NArg() > 0 {
+			name = flag.Arg(0)
+		}
+		prog = loopir.Library()[name]
+		if prog == nil {
+			var names []string
+			for n := range loopir.Library() {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(os.Stderr, "unknown program %q; available: %v (or use -file)\n", name, names)
+			os.Exit(1)
+		}
+		spec = specFor(name)
+	}
+
+	fmt.Println("=== sequential source ===")
+	fmt.Println(loopir.Render(prog))
+
+	analysis, err := depend.Analyze(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *deps {
+		fmt.Println("=== dependences ===")
+		for _, d := range analysis.Deps() {
+			fmt.Println(" ", d)
+		}
+		fmt.Println()
+	}
+	if len(spec.Dims) > 0 {
+		pr, err := analysis.PropertiesFor(spec)
+		if err == nil {
+			fmt.Println("=== application properties (Table 1 row) ===")
+			fmt.Println(" ", pr)
+			fmt.Println()
+		}
+	}
+
+	plan, err := compile.Compile(prog, compile.Options{Dist: spec})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compile:", err)
+		os.Exit(1)
+	}
+	fmt.Println("=== generated SPMD program ===")
+	fmt.Println(plan.Source)
+}
+
+func printTable1() {
+	fmt.Printf("%-34s %-5s %-5s %-5s\n", "Property (of distributed loop)", "MM", "SOR", "LU")
+	rows := map[string]depend.Properties{}
+	for _, name := range []string{"mm", "sor", "lu"} {
+		prog := loopir.Library()[name]
+		a, err := depend.Analyze(prog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		pr, err := a.PropertiesFor(specFor(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rows[name] = pr
+	}
+	mm, sor, lu := rows["mm"].Row(), rows["sor"].Row(), rows["lu"].Row()
+	for i, p := range depend.PropertyNames {
+		fmt.Printf("%-34s %-5s %-5s %-5s\n", p, mm[i], sor[i], lu[i])
+	}
+}

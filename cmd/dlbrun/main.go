@@ -1,0 +1,232 @@
+// Command dlbrun executes one application on a simulated workstation
+// cluster and reports timing, speedup, efficiency, and (optionally) the
+// load-balancing trace.
+//
+// Usage:
+//
+//	dlbrun -prog mm -n 192 -slaves 4 -load const:1 [-nodlb] [-sync] [-trace]
+//
+// Load scenarios: none | const:<tasks> | wave:<periodSec>:<onSec>:<tasks>
+// (applied to slave 0; other slaves stay dedicated).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/compile"
+	"repro/internal/depend"
+	"repro/internal/dlb"
+	"repro/internal/lang"
+	"repro/internal/loopir"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dlbrun:", err)
+	os.Exit(1)
+}
+
+func parseLoad(s string) (cluster.LoadProfile, error) {
+	switch {
+	case s == "" || s == "none":
+		return cluster.NoLoad{}, nil
+	case strings.HasPrefix(s, "const:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "const:"))
+		if err != nil {
+			return nil, err
+		}
+		return cluster.Constant(n), nil
+	case strings.HasPrefix(s, "wave:"):
+		parts := strings.Split(strings.TrimPrefix(s, "wave:"), ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("wave load needs period:on:tasks")
+		}
+		period, err1 := strconv.ParseFloat(parts[0], 64)
+		on, err2 := strconv.ParseFloat(parts[1], 64)
+		tasks, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("bad wave load %q", s)
+		}
+		return cluster.SquareWave{
+			Period:     time.Duration(period * float64(time.Second)),
+			OnDuration: time.Duration(on * float64(time.Second)),
+			Tasks:      tasks,
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown load %q", s)
+}
+
+func main() {
+	progName := flag.String("prog", "mm", "program: mm, sor, lu, jacobi, axpy, periodic-sor")
+	file := flag.String("file", "", "run a source file instead of a library program")
+	distFlag := flag.String("dist", "", "distribution directive array:dim[,array:dim] (for -file; default: automatic)")
+	n := flag.Int("n", 128, "problem size")
+	maxiter := flag.Int("maxiter", 12, "outer iterations (sor, jacobi, axpy)")
+	slaves := flag.Int("slaves", 4, "number of slave workstations")
+	loadSpec := flag.String("load", "none", "competing load on slave 0: none | const:N | wave:period:on:N")
+	nodlb := flag.Bool("nodlb", false, "disable dynamic load balancing (static distribution)")
+	sync := flag.Bool("sync", false, "synchronous master interactions instead of pipelined")
+	showTrace := flag.Bool("trace", false, "print the per-phase balancing trace for slave 0")
+	flopCost := flag.Duration("flopcost", time.Microsecond, "virtual CPU time per flop (1µs ≈ Sun 4/330)")
+	real := flag.Bool("real", false, "run for real: wall-clock goroutines instead of the simulated cluster")
+	drag := flag.Float64("drag", 1.0, "with -real: slow slave 0 by this factor (emulated loaded machine)")
+	flag.Parse()
+
+	var prog *loopir.Program
+	var spec depend.DistSpec
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fail(err)
+		}
+		prog, err = lang.Parse(string(src))
+		if err != nil {
+			fail(fmt.Errorf("%s:%w", *file, err))
+		}
+		if *distFlag != "" {
+			spec.Dims = map[string]int{}
+			for _, part := range strings.Split(*distFlag, ",") {
+				kv := strings.SplitN(part, ":", 2)
+				if len(kv) != 2 {
+					fail(fmt.Errorf("bad -dist entry %q", part))
+				}
+				dim, err := strconv.Atoi(kv[1])
+				if err != nil {
+					fail(fmt.Errorf("bad -dist dimension in %q", part))
+				}
+				spec.Dims[kv[0]] = dim
+			}
+		}
+	} else {
+		prog = loopir.Library()[*progName]
+		if prog == nil {
+			fail(fmt.Errorf("unknown program %q", *progName))
+		}
+		specs := map[string]depend.DistSpec{
+			"mm":           {Dims: map[string]int{"c": 1, "b": 1}, Loops: []string{"j"}},
+			"sor":          {Dims: map[string]int{"b": 0}, Loops: []string{"j"}},
+			"lu":           {Dims: map[string]int{"a": 1}, Loops: []string{"j"}},
+			"jacobi":       {Dims: map[string]int{"a": 0, "anew": 0}, Loops: []string{"i", "i2"}},
+			"axpy":         {Dims: map[string]int{"x": 0, "y": 0}, Loops: []string{"i"}},
+			"periodic-sor": {Dims: map[string]int{"b": 0}, Loops: []string{"j"}},
+		}
+		spec = specs[*progName]
+	}
+	params := map[string]int{}
+	for _, prm := range prog.Params {
+		if strings.Contains(prm, "iter") {
+			params[prm] = *maxiter
+		} else {
+			params[prm] = *n
+		}
+	}
+	plan, err := compile.Compile(prog, compile.Options{Dist: spec})
+	if err != nil {
+		fail(err)
+	}
+	load, err := parseLoad(*loadSpec)
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := dlb.Config{
+		Plan:         plan,
+		Params:       params,
+		DLB:          !*nodlb,
+		Synchronous:  *sync,
+		FlopCost:     *flopCost,
+		CollectTrace: *showTrace,
+	}
+	var res *dlb.Result
+	if *real {
+		if *drag > 1 {
+			cfg.RealDrag = []float64{*drag}
+		}
+		res, err = dlb.RunReal(cfg, *slaves)
+	} else {
+		cc := cluster.Config{Slaves: *slaves, Load: []cluster.LoadProfile{load}}
+		res, err = dlb.Run(cfg, cc)
+	}
+	if err != nil {
+		fail(err)
+	}
+	seq, ref, err := dlb.SequentialTime(plan, params, *flopCost)
+	if err != nil {
+		fail(err)
+	}
+	if *real {
+		// In real mode the baseline is a timed sequential run, not the
+		// calibrated virtual one.
+		inst, err := loopir.NewInstance(plan.Prog, params)
+		if err != nil {
+			fail(err)
+		}
+		t0 := time.Now()
+		if err := inst.Run(); err != nil {
+			fail(err)
+		}
+		seq = time.Since(t0)
+		ref = inst.Arrays
+	}
+
+	worst := 0.0
+	for name, want := range ref {
+		if got := res.Final[name]; got != nil {
+			if d := want.MaxAbsDiff(got); d > worst {
+				worst = d
+			}
+		}
+	}
+
+	kind := "simulated workstations"
+	if *real {
+		kind = "real goroutine workers (wall clock)"
+	}
+	fmt.Printf("%s n=%d on %d %s (load %s, dlb=%v)\n",
+		prog.Name, *n, *slaves, kind, *loadSpec, !*nodlb)
+	unit := "virtual"
+	if *real {
+		unit = "wall"
+	}
+	fmt.Printf("  sequential (%s):  %8.2fs\n", unit, seq.Seconds())
+	fmt.Printf("  parallel   (%s):  %8.2fs\n", unit, res.Elapsed.Seconds())
+	fmt.Printf("  speedup:               %8.2f\n", metrics.Speedup(seq, res.Elapsed))
+	fmt.Printf("  efficiency:            %8.3f\n", metrics.Efficiency(seq, res.Elapsed, res.Usage))
+	fmt.Printf("  LB phases: %d, moves: %d (%d units), strip grain: %d\n",
+		res.Phases, res.Moves, res.UnitsMoved, res.Grain)
+	fmt.Printf("  result vs sequential reference: max |diff| = %g\n", worst)
+
+	if *showTrace && len(res.Trace) > 0 {
+		raw := &trace.Series{Name: "raw-rate"}
+		filt := &trace.Series{Name: "adjusted-rate"}
+		work := &trace.Series{Name: "work"}
+		maxRate := 0.0
+		for _, s := range res.Trace {
+			if s.Slave == 0 && s.RawRate > maxRate {
+				maxRate = s.RawRate
+			}
+		}
+		if maxRate == 0 {
+			maxRate = 1
+		}
+		even := float64(res.Exec.Units) / float64(*slaves)
+		for _, s := range res.Trace {
+			if s.Slave != 0 {
+				continue
+			}
+			t := s.Time.Seconds()
+			raw.Append(t, s.RawRate/maxRate)
+			filt.Append(t, s.Filtered/maxRate)
+			work.Append(t, float64(s.Work)/even)
+		}
+		fmt.Println()
+		fmt.Print(trace.PlotASCII(72, 14, raw, filt, work))
+	}
+}

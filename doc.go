@@ -1,0 +1,11 @@
+// Package repro reproduces "Automatic Generation of Parallel Programs with
+// Dynamic Load Balancing" (Siegell & Steenkiste, HPDC 1994): a parallelizing
+// compiler and master/slave run-time system that executes loop-nest programs
+// on a (simulated) network of workstations, dynamically re-balancing loop
+// iterations as competing load changes.
+//
+// See README.md for the architecture, DESIGN.md for the system inventory
+// and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmark harness in bench_test.go regenerates every table
+// and figure of the paper's evaluation.
+package repro

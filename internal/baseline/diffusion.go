@@ -1,0 +1,187 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/loopir"
+	"repro/internal/vtime"
+)
+
+// DiffusionConfig tunes the nearest-neighbor balancer.
+type DiffusionConfig struct {
+	// Threshold is the minimum surplus (in units) over a neighbor before
+	// work is shifted; half the difference moves.
+	Threshold int
+	// InfoEvery is how many completed units pass between load reports to
+	// the neighbors.
+	InfoEvery int
+	// FlopCost is the virtual cost per floating-point operation.
+	FlopCost time.Duration
+}
+
+func (c DiffusionConfig) withDefaults() DiffusionConfig {
+	if c.Threshold < 1 {
+		c.Threshold = 1
+	}
+	if c.InfoEvery < 1 {
+		c.InfoEvery = 2
+	}
+	if c.FlopCost <= 0 {
+		c.FlopCost = time.Microsecond
+	}
+	return c
+}
+
+type diffUnit struct {
+	unit int
+	bcol []float64
+}
+
+type diffXfer struct {
+	Units []diffUnit
+}
+
+type diffLoad struct {
+	Count int
+	Reply bool // true for responses, which must not trigger another reply
+}
+
+type diffResult struct {
+	Unit int
+	Col  []float64
+}
+
+// RunDiffusion executes the workload with nearest-neighbor (diffusion)
+// balancing on a line topology: each slave exchanges load information with
+// its adjacent slaves and pushes half its surplus when the difference
+// exceeds the threshold. Only local information is used — a hot spot's
+// surplus must propagate hop by hop, in contrast to the paper's
+// global-information master (§3.1, §6).
+func RunDiffusion(m *MM, cc cluster.Config, dcfg DiffusionConfig) (*Result, error) {
+	dcfg = dcfg.withDefaults()
+	n := m.N
+	res := &Result{C: loopir.NewArray("c", []int{n, n})}
+	a := m.Inst.Arrays["a"]
+	b := m.Inst.Arrays["b"]
+
+	elapsed, usage, err := runKernel(cc, func(k *vtime.Kernel, c *cluster.Cluster) {
+		slaves := cc.Slaves
+		c.Spawn("master", cluster.MasterID, func(p *vtime.Proc, node *cluster.Node) {
+			// Scatter: replicated A plus each slave's initial block of
+			// (unit, B-column) pairs.
+			for s := 0; s < slaves; s++ {
+				node.Send(p, s, "matrixA", msgHeaderBytes+8*len(a.Data), append([]float64(nil), a.Data...))
+				var units []diffUnit
+				for u := 0; u < n; u++ {
+					if u*slaves/n == s {
+						units = append(units, diffUnit{unit: u, bcol: column(n, b.Data, u)})
+					}
+				}
+				node.Send(p, s, "work", msgHeaderBytes+8*n*len(units), diffXfer{Units: units})
+			}
+			for done := 0; done < n; done++ {
+				r := node.RecvTag(p, cluster.AnySource, "result").Data.(diffResult)
+				for row := 0; row < n; row++ {
+					res.C.Data[row*n+r.Unit] = r.Col[row]
+				}
+			}
+			for s := 0; s < slaves; s++ {
+				node.Send(p, s, "stop", msgHeaderBytes, nil)
+			}
+		})
+
+		for s := 0; s < slaves; s++ {
+			s := s
+			c.Spawn(fmt.Sprintf("slave%d", s), s, func(p *vtime.Proc, node *cluster.Node) {
+				local := node.RecvTag(p, cluster.MasterID, "matrixA").Data.([]float64)
+				queue := node.RecvTag(p, cluster.MasterID, "work").Data.(diffXfer).Units
+				neighbors := []int{}
+				if s > 0 {
+					neighbors = append(neighbors, s-1)
+				}
+				if s < slaves-1 {
+					neighbors = append(neighbors, s+1)
+				}
+				sinceInfo := 0
+
+				sendInfo := func() {
+					for _, nb := range neighbors {
+						node.Send(p, nb, "load", msgHeaderBytes, diffLoad{Count: len(queue)})
+					}
+				}
+				maybePush := func(to, theirCount int) {
+					surplus := len(queue) - theirCount
+					if surplus < 2*dcfg.Threshold {
+						return
+					}
+					move := surplus / 2
+					if move > len(queue) {
+						move = len(queue)
+					}
+					units := append([]diffUnit(nil), queue[len(queue)-move:]...)
+					queue = queue[:len(queue)-move]
+					res.Assigns++
+					res.UnitsMoved += move
+					node.Send(p, to, "xfer", msgHeaderBytes+8*n*move, diffXfer{Units: units})
+				}
+				handle := func(msg cluster.Msg) bool {
+					switch msg.Tag {
+					case "stop":
+						return true
+					case "xfer":
+						queue = append(queue, msg.Data.(diffXfer).Units...)
+					case "load":
+						info := msg.Data.(diffLoad)
+						if !info.Reply {
+							// Answer probes (replies must not re-reply, or
+							// two idle neighbors would ping-pong forever).
+							node.Send(p, msg.From, "load", msgHeaderBytes, diffLoad{Count: len(queue), Reply: true})
+						}
+						maybePush(msg.From, info.Count)
+					}
+					return false
+				}
+
+				for {
+					// Drain pending control traffic.
+					for {
+						msg, ok := node.TryRecvTag(p, cluster.AnySource, "")
+						if !ok {
+							break
+						}
+						if handle(msg) {
+							return
+						}
+					}
+					if len(queue) == 0 {
+						// Idle: wait for a transfer (or stop); answering
+						// neighbor load probes advertises our idleness.
+						if handle(node.RecvTag(p, cluster.AnySource, "")) {
+							return
+						}
+						continue
+					}
+					u := queue[0]
+					queue = queue[1:]
+					node.Compute(p, time.Duration(m.UnitFlops()*float64(dcfg.FlopCost)))
+					out := make([]float64, n)
+					computeColumn(n, local, u.bcol, out)
+					node.Send(p, cluster.MasterID, "result", msgHeaderBytes+8*n, diffResult{Unit: u.unit, Col: out})
+					sinceInfo++
+					if sinceInfo >= dcfg.InfoEvery {
+						sinceInfo = 0
+						sendInfo()
+					}
+				}
+			})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = elapsed
+	res.Usage = usage
+	return res, nil
+}

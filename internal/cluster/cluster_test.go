@@ -1,0 +1,409 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+func run(t *testing.T, k *vtime.Kernel) {
+	t.Helper()
+	if err := k.Run(); err != nil {
+		t.Fatalf("kernel: %v", err)
+	}
+}
+
+func TestComputeDedicated(t *testing.T) {
+	k := vtime.NewKernel()
+	c := New(k, Config{Slaves: 1})
+	var elapsed time.Duration
+	c.Spawn("w", 0, func(p *vtime.Proc, n *Node) {
+		start := p.Now()
+		n.Compute(p, 300*time.Millisecond)
+		elapsed = p.Now() - start
+	})
+	run(t, k)
+	if elapsed != 300*time.Millisecond {
+		t.Fatalf("elapsed = %v, want 300ms", elapsed)
+	}
+}
+
+func TestComputeSpeedScaling(t *testing.T) {
+	k := vtime.NewKernel()
+	c := New(k, Config{Slaves: 2, Speed: []float64{2.0, 0.5}})
+	var fast, slow time.Duration
+	c.Spawn("fast", 0, func(p *vtime.Proc, n *Node) {
+		n.Compute(p, time.Second)
+		fast = p.Now()
+	})
+	c.Spawn("slow", 1, func(p *vtime.Proc, n *Node) {
+		n.Compute(p, time.Second)
+		slow = p.Now()
+	})
+	run(t, k)
+	if fast != 500*time.Millisecond {
+		t.Fatalf("fast node elapsed = %v, want 500ms", fast)
+	}
+	if slow != 2*time.Second {
+		t.Fatalf("slow node elapsed = %v, want 2s", slow)
+	}
+}
+
+func TestComputeWithOneCompetitor(t *testing.T) {
+	k := vtime.NewKernel()
+	c := New(k, Config{Slaves: 1, Load: []LoadProfile{Constant(1)}})
+	var end time.Duration
+	c.Spawn("w", 0, func(p *vtime.Proc, n *Node) {
+		// Quantum = 100ms. Slots: [0,100) ours, [100,200) theirs, ...
+		// 150ms of CPU: slot 0 (100ms) + 50ms of slot 2 -> ends at 250ms.
+		n.Compute(p, 150*time.Millisecond)
+		end = p.Now()
+	})
+	run(t, k)
+	if end != 250*time.Millisecond {
+		t.Fatalf("end = %v, want 250ms", end)
+	}
+	u := c.Node(0).Usage()
+	if u.AppCPU != 150*time.Millisecond {
+		t.Fatalf("AppCPU = %v, want 150ms", u.AppCPU)
+	}
+	if u.CompetingCPU != 100*time.Millisecond {
+		t.Fatalf("CompetingCPU = %v, want 100ms", u.CompetingCPU)
+	}
+}
+
+func TestComputeWithTwoCompetitors(t *testing.T) {
+	k := vtime.NewKernel()
+	c := New(k, Config{Slaves: 1, Load: []LoadProfile{Constant(2)}})
+	var end time.Duration
+	c.Spawn("w", 0, func(p *vtime.Proc, n *Node) {
+		// App owns slots 0, 3, 6, ... (1 of every 3).
+		// 200ms CPU = slots 0 and 3 -> ends at 400ms.
+		n.Compute(p, 200*time.Millisecond)
+		end = p.Now()
+	})
+	run(t, k)
+	if end != 400*time.Millisecond {
+		t.Fatalf("end = %v, want 400ms", end)
+	}
+}
+
+func TestComputeMidSlotStart(t *testing.T) {
+	k := vtime.NewKernel()
+	c := New(k, Config{Slaves: 1, Load: []LoadProfile{Constant(1)}})
+	var end time.Duration
+	c.Spawn("w", 0, func(p *vtime.Proc, n *Node) {
+		p.Sleep(50 * time.Millisecond) // start mid-way through our slot 0
+		n.Compute(p, 100*time.Millisecond)
+		// 50ms left in slot 0, skip slot 1, 50ms into slot 2 -> 250ms.
+		end = p.Now()
+	})
+	run(t, k)
+	if end != 250*time.Millisecond {
+		t.Fatalf("end = %v, want 250ms", end)
+	}
+}
+
+func TestComputeAcrossLoadChange(t *testing.T) {
+	k := vtime.NewKernel()
+	// Competitor appears at t=1s.
+	c := New(k, Config{Slaves: 1, Load: []LoadProfile{Steps{{At: time.Second, Tasks: 1}}}})
+	var end time.Duration
+	c.Spawn("w", 0, func(p *vtime.Proc, n *Node) {
+		// 1.1s of CPU: first 1s free, then 100ms under round robin.
+		// At t=1s, slot index 10 is even -> ours: run [1.0,1.1).
+		n.Compute(p, 1100*time.Millisecond)
+		end = p.Now()
+	})
+	run(t, k)
+	if end != 1100*time.Millisecond {
+		t.Fatalf("end = %v, want 1.1s", end)
+	}
+}
+
+func TestIdleCompetingAccounting(t *testing.T) {
+	k := vtime.NewKernel()
+	c := New(k, Config{Slaves: 1, Load: []LoadProfile{Constant(1)}})
+	c.Spawn("w", 0, func(p *vtime.Proc, n *Node) {
+		p.Sleep(500 * time.Millisecond) // idle: competitor gets all 500ms
+		n.Compute(p, 100*time.Millisecond)
+	})
+	run(t, k)
+	n := c.Node(0)
+	n.FinishAt(k.Now())
+	u := n.Usage()
+	// Idle [0,500ms): 500ms competing. Compute starts at 500ms (slot 5,
+	// odd -> competitor's slot): wait [500,600) then run [600,700).
+	wantCompeting := 500*time.Millisecond + 100*time.Millisecond
+	if u.CompetingCPU != wantCompeting {
+		t.Fatalf("CompetingCPU = %v, want %v", u.CompetingCPU, wantCompeting)
+	}
+	if u.AppCPU != 100*time.Millisecond {
+		t.Fatalf("AppCPU = %v, want 100ms", u.AppCPU)
+	}
+}
+
+func TestSendRecvTiming(t *testing.T) {
+	k := vtime.NewKernel()
+	c := New(k, Config{
+		Slaves:       2,
+		LinkLatency:  time.Millisecond,
+		Bandwidth:    1e6, // 1 MB/s
+		SendOverhead: time.Millisecond,
+	})
+	var recvAt time.Duration
+	c.Spawn("sender", 0, func(p *vtime.Proc, n *Node) {
+		n.Send(p, 1, "data", 1000, "payload") // 1000B at 1MB/s = 1ms transfer
+	})
+	c.Spawn("receiver", 1, func(p *vtime.Proc, n *Node) {
+		m := n.RecvTag(p, 0, "data")
+		recvAt = p.Now()
+		if m.Data != "payload" {
+			t.Errorf("data = %v", m.Data)
+		}
+	})
+	run(t, k)
+	// overhead 1ms (sender CPU) + latency 1ms + transfer 1ms = 3ms
+	if recvAt != 3*time.Millisecond {
+		t.Fatalf("received at %v, want 3ms", recvAt)
+	}
+}
+
+func TestRecvTagSelective(t *testing.T) {
+	k := vtime.NewKernel()
+	c := New(k, Config{Slaves: 2})
+	var order []string
+	c.Spawn("sender", 0, func(p *vtime.Proc, n *Node) {
+		n.Send(p, 1, "first", 8, 1)
+		n.Send(p, 1, "second", 8, 2)
+	})
+	c.Spawn("receiver", 1, func(p *vtime.Proc, n *Node) {
+		m := n.RecvTag(p, 0, "second")
+		order = append(order, m.Tag)
+		m = n.RecvTag(p, 0, "first")
+		order = append(order, m.Tag)
+	})
+	run(t, k)
+	if len(order) != 2 || order[0] != "second" || order[1] != "first" {
+		t.Fatalf("order = %v, want [second first]", order)
+	}
+}
+
+func TestRecvTagAnySource(t *testing.T) {
+	k := vtime.NewKernel()
+	c := New(k, Config{Slaves: 3})
+	var from []int
+	for i := 0; i < 2; i++ {
+		i := i
+		c.Spawn("s", i, func(p *vtime.Proc, n *Node) {
+			p.Sleep(time.Duration(i+1) * time.Millisecond)
+			n.Send(p, 2, "status", 8, i)
+		})
+	}
+	c.Spawn("r", 2, func(p *vtime.Proc, n *Node) {
+		for i := 0; i < 2; i++ {
+			from = append(from, n.RecvTag(p, AnySource, "status").From)
+		}
+	})
+	run(t, k)
+	if len(from) != 2 || from[0] != 0 || from[1] != 1 {
+		t.Fatalf("from = %v, want [0 1]", from)
+	}
+}
+
+func TestTryRecvTag(t *testing.T) {
+	k := vtime.NewKernel()
+	c := New(k, Config{Slaves: 2})
+	c.Spawn("s", 0, func(p *vtime.Proc, n *Node) {
+		n.Send(p, 1, "x", 8, nil)
+	})
+	c.Spawn("r", 1, func(p *vtime.Proc, n *Node) {
+		if _, ok := n.TryRecvTag(p, 0, "x"); ok {
+			t.Error("message available before it was sent")
+		}
+		p.Sleep(time.Second)
+		if _, ok := n.TryRecvTag(p, 0, "x"); !ok {
+			t.Error("message not available after delivery")
+		}
+	})
+	run(t, k)
+}
+
+func TestMasterNode(t *testing.T) {
+	k := vtime.NewKernel()
+	c := New(k, Config{Slaves: 1})
+	var got int
+	c.Spawn("slave", 0, func(p *vtime.Proc, n *Node) {
+		n.Send(p, MasterID, "status", 8, 7)
+	})
+	c.Spawn("master", MasterID, func(p *vtime.Proc, n *Node) {
+		got = n.RecvTag(p, 0, "status").Data.(int)
+	})
+	run(t, k)
+	if got != 7 {
+		t.Fatalf("got %d, want 7", got)
+	}
+}
+
+func TestSquareWaveProfile(t *testing.T) {
+	w := SquareWave{Period: 20 * time.Second, OnDuration: 10 * time.Second, Tasks: 1}
+	cases := []struct {
+		t    time.Duration
+		want int
+	}{
+		{0, 1},
+		{9 * time.Second, 1},
+		{10 * time.Second, 0},
+		{19 * time.Second, 0},
+		{20 * time.Second, 1},
+		{35 * time.Second, 0},
+	}
+	for _, tc := range cases {
+		if got := w.At(tc.t); got != tc.want {
+			t.Errorf("At(%v) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+	if nc := w.NextChange(0); nc != 10*time.Second {
+		t.Errorf("NextChange(0) = %v, want 10s", nc)
+	}
+	if nc := w.NextChange(15 * time.Second); nc != 20*time.Second {
+		t.Errorf("NextChange(15s) = %v, want 20s", nc)
+	}
+	if nc := w.NextChange(10 * time.Second); nc != 20*time.Second {
+		t.Errorf("NextChange(10s) = %v, want 20s", nc)
+	}
+}
+
+func TestSquareWaveOffset(t *testing.T) {
+	w := SquareWave{Period: 10 * time.Second, OnDuration: 5 * time.Second, Tasks: 2, Offset: 3 * time.Second}
+	if got := w.At(0); got != 0 {
+		t.Errorf("At(0) = %d, want 0 (wave starts at offset)", got)
+	}
+	if got := w.At(3 * time.Second); got != 2 {
+		t.Errorf("At(3s) = %d, want 2", got)
+	}
+	if nc := w.NextChange(0); nc != 3*time.Second {
+		t.Errorf("NextChange(0) = %v, want 3s", nc)
+	}
+}
+
+func TestStepsProfile(t *testing.T) {
+	s := Steps{{At: time.Second, Tasks: 2}, {At: 3 * time.Second, Tasks: 0}}
+	if got := s.At(0); got != 0 {
+		t.Errorf("At(0) = %d, want 0", got)
+	}
+	if got := s.At(2 * time.Second); got != 2 {
+		t.Errorf("At(2s) = %d, want 2", got)
+	}
+	if got := s.At(5 * time.Second); got != 0 {
+		t.Errorf("At(5s) = %d, want 0", got)
+	}
+	if nc := s.NextChange(0); nc != time.Second {
+		t.Errorf("NextChange(0) = %v, want 1s", nc)
+	}
+	if nc := s.NextChange(4 * time.Second); nc != Never {
+		t.Errorf("NextChange(4s) = %v, want Never", nc)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	k := vtime.NewKernel()
+	c := New(k, Config{Slaves: 1, LinkLatency: time.Millisecond, Bandwidth: 100e6})
+	got := c.TransferTime(100e6 / 2) // half a second of bandwidth
+	want := time.Millisecond + 500*time.Millisecond
+	if got != want {
+		t.Fatalf("TransferTime = %v, want %v", got, want)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	k := vtime.NewKernel()
+	c := New(k, Config{Slaves: 1})
+	cfg := c.Config()
+	if cfg.Quantum != 100*time.Millisecond {
+		t.Errorf("Quantum = %v, want 100ms", cfg.Quantum)
+	}
+	if cfg.Bandwidth != 100e6 {
+		t.Errorf("Bandwidth = %v, want 100e6", cfg.Bandwidth)
+	}
+}
+
+func TestUsageMessageCounters(t *testing.T) {
+	k := vtime.NewKernel()
+	c := New(k, Config{Slaves: 2})
+	c.Spawn("s", 0, func(p *vtime.Proc, n *Node) {
+		n.Send(p, 1, "a", 100, nil)
+		n.Send(p, 1, "b", 200, nil)
+	})
+	c.Spawn("r", 1, func(p *vtime.Proc, n *Node) {
+		n.RecvTag(p, 0, "a")
+		n.RecvTag(p, 0, "b")
+	})
+	run(t, k)
+	u := c.Node(0).Usage()
+	if u.MessagesSent != 2 || u.BytesSent != 300 {
+		t.Fatalf("sent %d msgs / %d bytes, want 2 / 300", u.MessagesSent, u.BytesSent)
+	}
+}
+
+func TestWakeupDelayModel(t *testing.T) {
+	k := vtime.NewKernel()
+	c := New(k, Config{
+		Slaves:      2,
+		Load:        []LoadProfile{Constant(1)},
+		ModelWakeup: true,
+	})
+	var recvAt time.Duration
+	c.Spawn("sender", 1, func(p *vtime.Proc, n *Node) {
+		p.Sleep(150 * time.Millisecond)
+		n.Send(p, 0, "x", 8, nil)
+	})
+	c.Spawn("receiver", 0, func(p *vtime.Proc, n *Node) {
+		n.RecvTag(p, 1, "x")
+		recvAt = p.Now()
+	})
+	run(t, k)
+	// The message arrives shortly after 150ms, inside the competitor's
+	// quantum slot [100ms,200ms); the receiver resumes at its next slot,
+	// 200ms.
+	if recvAt != 200*time.Millisecond {
+		t.Fatalf("received at %v, want 200ms (next application slot)", recvAt)
+	}
+}
+
+func TestWakeupDelayOffByDefault(t *testing.T) {
+	k := vtime.NewKernel()
+	c := New(k, Config{Slaves: 2, Load: []LoadProfile{Constant(1)}, SendOverhead: time.Nanosecond, LinkLatency: time.Nanosecond, Bandwidth: 1e12})
+	var recvAt time.Duration
+	c.Spawn("sender", 1, func(p *vtime.Proc, n *Node) {
+		p.Sleep(150 * time.Millisecond)
+		n.Send(p, 0, "x", 8, nil)
+	})
+	c.Spawn("receiver", 0, func(p *vtime.Proc, n *Node) {
+		n.RecvTag(p, 1, "x")
+		recvAt = p.Now()
+	})
+	run(t, k)
+	if recvAt >= 200*time.Millisecond {
+		t.Fatalf("received at %v; wakeup modeling should be off", recvAt)
+	}
+}
+
+func TestWakeupDelayUnloadedNode(t *testing.T) {
+	k := vtime.NewKernel()
+	c := New(k, Config{Slaves: 2, ModelWakeup: true})
+	var recvAt time.Duration
+	c.Spawn("sender", 1, func(p *vtime.Proc, n *Node) {
+		p.Sleep(150 * time.Millisecond)
+		n.Send(p, 0, "x", 8, nil)
+	})
+	c.Spawn("receiver", 0, func(p *vtime.Proc, n *Node) {
+		n.RecvTag(p, 1, "x")
+		recvAt = p.Now()
+	})
+	run(t, k)
+	if recvAt >= 200*time.Millisecond {
+		t.Fatalf("received at %v; unloaded node needs no wakeup delay", recvAt)
+	}
+}

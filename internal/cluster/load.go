@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"math"
+	"time"
+)
+
+// Never is a sentinel "no more changes" time returned by NextChange.
+const Never = time.Duration(math.MaxInt64)
+
+// LoadProfile describes the competing load on a node as a piecewise-constant
+// number of compute-bound competitor processes over virtual time.
+type LoadProfile interface {
+	// At reports the number of competing processes at time t.
+	At(t time.Duration) int
+	// NextChange reports the first time strictly after t at which At changes,
+	// or Never if the profile is constant from t on.
+	NextChange(t time.Duration) time.Duration
+}
+
+// NoLoad is a dedicated node: no competing processes, ever.
+type NoLoad struct{}
+
+// At implements LoadProfile.
+func (NoLoad) At(time.Duration) int { return 0 }
+
+// NextChange implements LoadProfile.
+func (NoLoad) NextChange(time.Duration) time.Duration { return Never }
+
+// Constant is a fixed number of competing processes for the whole run —
+// the paper's "constant load on one processor" scenario (Figures 7 and 8).
+type Constant int
+
+// At implements LoadProfile.
+func (c Constant) At(time.Duration) int { return int(c) }
+
+// NextChange implements LoadProfile.
+func (Constant) NextChange(time.Duration) time.Duration { return Never }
+
+// SquareWave is an oscillating load: Tasks competitors during the first
+// OnDuration of every Period, none for the remainder. With Period = 20 s and
+// OnDuration = 10 s it reproduces the Figure 9 scenario ("oscillating load,
+// 20 sec period, 10 sec duration"). Offset shifts the wave's origin.
+type SquareWave struct {
+	Period     time.Duration
+	OnDuration time.Duration
+	Tasks      int
+	Offset     time.Duration
+}
+
+// At implements LoadProfile.
+func (w SquareWave) At(t time.Duration) int {
+	if w.Period <= 0 || w.OnDuration <= 0 {
+		return 0
+	}
+	phase := (t - w.Offset) % w.Period
+	if phase < 0 {
+		phase += w.Period
+	}
+	if phase < w.OnDuration {
+		return w.Tasks
+	}
+	return 0
+}
+
+// NextChange implements LoadProfile.
+func (w SquareWave) NextChange(t time.Duration) time.Duration {
+	if w.Period <= 0 || w.OnDuration <= 0 || w.OnDuration >= w.Period {
+		return Never
+	}
+	phase := (t - w.Offset) % w.Period
+	if phase < 0 {
+		phase += w.Period
+	}
+	if phase < w.OnDuration {
+		return t + (w.OnDuration - phase)
+	}
+	return t + (w.Period - phase)
+}
+
+// Step is one segment of a Steps profile.
+type Step struct {
+	At    time.Duration // segment start
+	Tasks int           // competitors from At until the next segment
+}
+
+// Steps is an arbitrary piecewise-constant profile. Segments must be sorted
+// by At; the load before the first segment is zero.
+type Steps []Step
+
+// At implements LoadProfile.
+func (s Steps) At(t time.Duration) int {
+	n := 0
+	for _, st := range s {
+		if st.At > t {
+			break
+		}
+		n = st.Tasks
+	}
+	return n
+}
+
+// NextChange implements LoadProfile.
+func (s Steps) NextChange(t time.Duration) time.Duration {
+	for _, st := range s {
+		if st.At > t {
+			return st.At
+		}
+	}
+	return Never
+}

@@ -1,0 +1,1043 @@
+package compile
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/depend"
+	"repro/internal/loopir"
+)
+
+// Options configures compilation.
+type Options struct {
+	// Dist is the data-distribution directive (the paper assumes Fortran
+	// D-style directives from the programmer). If Dist.Dims is empty the
+	// compiler derives a distribution automatically.
+	Dist depend.DistSpec
+	// HookFraction is the maximum acceptable ratio of hook cost to enclosed
+	// work when placing hooks (paper: 1%).
+	HookFraction float64
+	// HookCostFlops is the estimated cost of one hook visit, in
+	// floating-point-operation equivalents.
+	HookCostFlops float64
+	// Samples overrides the dependence analysis sample sizes.
+	Samples []map[string]int
+}
+
+func (o Options) withDefaults() Options {
+	if o.HookFraction <= 0 {
+		o.HookFraction = 0.01
+	}
+	if o.HookCostFlops <= 0 {
+		o.HookCostFlops = 200
+	}
+	return o
+}
+
+// Compile parallelizes a sequential program for SPMD execution with dynamic
+// load balancing.
+func Compile(prog *loopir.Program, opts Options) (*Plan, error) {
+	opts = opts.withDefaults()
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	analysis, err := depend.Analyze(prog, opts.Samples...)
+	if err != nil {
+		return nil, err
+	}
+	spec := opts.Dist
+	if len(spec.Dims) == 0 {
+		spec, err = autoDistribute(analysis)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(spec.Loops) == 0 {
+		// Derive the distributed loops from the directive.
+		loopSet := map[string]bool{}
+		for arr, dim := range spec.Dims {
+			for _, l := range analysis.DistLoopsFor(arr, dim) {
+				loopSet[l] = true
+			}
+		}
+		spec.Loops = orderLoops(prog.Body, loopSet)
+		if len(spec.Loops) == 0 {
+			return nil, fmt.Errorf("compile: no loop scans the distributed dimension")
+		}
+	}
+	props, err := analysis.PropertiesFor(spec)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := analysis.DepsFor(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &compiler{
+		prog:     prog,
+		analysis: analysis,
+		spec:     spec,
+		deps:     deps,
+		hookID:   0,
+	}
+	unitsExpr, err := c.unitsExpr()
+	if err != nil {
+		return nil, err
+	}
+	steps, err := c.transform(prog.Body, 0)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, _, leftover := extractPipes(steps); leftover {
+		return nil, fmt.Errorf("compile: pipelined distributed loop has no enclosing sequential loop to strip-mine")
+	}
+	if err := c.placeExchanges(steps); err != nil {
+		return nil, err
+	}
+	steps = c.placeCombines(steps)
+	c.placeHooks(steps, 0)
+	if c.hookID == 0 {
+		return nil, fmt.Errorf("compile: %s has no loop enclosing the distributed loop to host a hook", prog.Name)
+	}
+
+	var replicated []string
+	for _, a := range prog.Arrays {
+		if _, ok := spec.Dims[a.Name]; !ok {
+			replicated = append(replicated, a.Name)
+		}
+	}
+
+	deltas := make([]int, 0, len(c.ghostDeltas))
+	for d := range c.ghostDeltas {
+		deltas = append(deltas, d)
+	}
+	sort.Ints(deltas)
+
+	// Reduction accumulations look like loop-carried dependences to the
+	// analysis but are resolved by the Combine steps, not by pipelining or
+	// movement restrictions: classify carried dependences without them.
+	if props.LoopCarriedDeps && len(c.reductions) > 0 {
+		carried := false
+		for _, d := range deps {
+			if c.reductions[d.Array] {
+				continue
+			}
+			for _, l := range spec.Loops {
+				if d.Carrier == l {
+					carried = true
+				}
+			}
+		}
+		props.LoopCarriedDeps = carried
+	}
+
+	plan := &Plan{
+		Prog:        prog,
+		Dist:        spec,
+		Props:       props,
+		Restricted:  props.LoopCarriedDeps || len(deltas) > 0,
+		UnitsExpr:   unitsExpr,
+		Steps:       steps,
+		DistArrays:  spec.Dims,
+		Replicated:  replicated,
+		GhostDeltas: deltas,
+		StripMined:  c.stripMined,
+		HookCount:   c.hookID,
+	}
+	for _, arr := range sortedKeys(c.reductions) {
+		plan.Reductions = append(plan.Reductions, ReduceSpec{Array: arr, Op: '+'})
+	}
+	plan.Source = RenderPlan(plan)
+	return plan, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// placeCombines inserts reduction Combine steps: at the end of every loop
+// body that has a break condition (so the condition sees globally combined
+// values) and at the end of the program (so the final value is right).
+func (c *compiler) placeCombines(steps []Step) []Step {
+	if len(c.reductions) == 0 {
+		return steps
+	}
+	combines := func() []Step {
+		var out []Step
+		for _, arr := range sortedKeys(c.reductions) {
+			out = append(out, &Combine{Array: arr, Op: '+'})
+		}
+		return out
+	}
+	var walk func(ss []Step)
+	walk = func(ss []Step) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *SeqLoop:
+				walk(s.Body)
+				if s.BreakIf != nil {
+					s.Body = append(s.Body, combines()...)
+				}
+			case *StripLoop:
+				walk(s.Body)
+			}
+		}
+	}
+	walk(steps)
+	return append(steps, combines()...)
+}
+
+// autoDistribute derives a distribution when no directive is given: the
+// first written array, distributed along the last dimension scanned by a
+// qualifying loop; other written arrays aligned by their scanning loops;
+// read-only arrays aligned when every read uses a distributed loop variable
+// exactly, replicated otherwise.
+func autoDistribute(a *depend.Analysis) (depend.DistSpec, error) {
+	written := a.WrittenArrays()
+	if len(written) == 0 {
+		return depend.DistSpec{}, fmt.Errorf("compile: program writes no arrays")
+	}
+	main := written[0]
+	decl := a.Prog.Array(main)
+	spec := depend.DistSpec{Dims: map[string]int{}}
+	for dim := len(decl.Dims) - 1; dim >= 0; dim-- {
+		if loops := a.DistLoopsFor(main, dim); len(loops) > 0 {
+			spec.Dims[main] = dim
+			break
+		}
+	}
+	if len(spec.Dims) == 0 {
+		return depend.DistSpec{}, fmt.Errorf("compile: no distributable dimension for %q", main)
+	}
+	mainDim := spec.Dims[main]
+	loopSet := map[string]bool{}
+	for _, l := range a.DistLoopsFor(main, mainDim) {
+		loopSet[l] = true
+	}
+	// Align other written arrays whose some dimension is scanned by the
+	// same loops.
+	for _, other := range written {
+		if other == main {
+			continue
+		}
+		d := a.Prog.Array(other)
+		for dim := 0; dim < len(d.Dims); dim++ {
+			match := false
+			for _, l := range a.DistLoopsFor(other, dim) {
+				if loopSet[l] {
+					match = true
+				}
+			}
+			if match {
+				spec.Dims[other] = dim
+				break
+			}
+		}
+	}
+	// Extend the loop set with scanning loops of aligned arrays (e.g.
+	// Jacobi's copy-back nest) and align read-only arrays.
+	for arr, dim := range spec.Dims {
+		for _, l := range a.DistLoopsFor(arr, dim) {
+			loopSet[l] = true
+		}
+	}
+	isParam := func(name string) bool {
+		for _, prm := range a.Prog.Params {
+			if prm == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range a.Prog.Arrays {
+		if _, done := spec.Dims[d.Name]; done {
+			continue
+		}
+		// Read-only: align if every reference has some dimension that is
+		// exactly a distributed loop variable, and it is the same dimension
+		// in all references.
+		alignDim := -1
+		ok := true
+		for _, r := range a.Refs {
+			if r.Ref.Array != d.Name {
+				continue
+			}
+			found := -1
+			for dim, ie := range r.Ref.Idx {
+				lf, err := depend.Linearize(ie, isParam)
+				if err != nil || lf.Const != 0 || len(lf.Params) != 0 || len(lf.Vars) != 1 {
+					continue
+				}
+				for v, cf := range lf.Vars {
+					if cf == 1 && loopSet[v] {
+						found = dim
+					}
+				}
+			}
+			if found == -1 || (alignDim != -1 && alignDim != found) {
+				ok = false
+				break
+			}
+			alignDim = found
+		}
+		if ok && alignDim != -1 {
+			spec.Dims[d.Name] = alignDim
+		}
+	}
+	spec.Loops = orderLoops(a.Prog.Body, loopSet)
+	return spec, nil
+}
+
+// orderLoops returns the loop variables in loopSet in program order.
+func orderLoops(stmts []loopir.Stmt, loopSet map[string]bool) []string {
+	var out []string
+	var walk func([]loopir.Stmt)
+	walk = func(ss []loopir.Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *loopir.Loop:
+				if loopSet[s.Var] {
+					out = append(out, s.Var)
+				}
+				walk(s.Body)
+			case *loopir.If:
+				walk(s.Then)
+				walk(s.Else)
+			}
+		}
+	}
+	walk(stmts)
+	return out
+}
+
+type compiler struct {
+	prog     *loopir.Program
+	analysis *depend.Analysis
+	spec     depend.DistSpec
+	deps     []depend.Dep
+
+	ghostDeltas map[int]bool
+	// pendingExchanges maps carrier loop -> exchange steps to insert at the
+	// start of that loop's body ("" = before everything).
+	pendingExchanges map[string][]Step
+	// reductions are replicated arrays accumulated inside distributed
+	// loops (r[..] = r[..] + expr); their partial sums are merged by
+	// Combine steps.
+	reductions map[string]bool
+	stripMined bool
+	hookID     int
+}
+
+func (c *compiler) isParam(name string) bool {
+	for _, prm := range c.prog.Params {
+		if prm == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *compiler) isDistLoop(v string) bool {
+	for _, l := range c.spec.Loops {
+		if l == v {
+			return true
+		}
+	}
+	return false
+}
+
+// unitsExpr returns the extent of the distributed dimension, checking all
+// distributed arrays agree.
+func (c *compiler) unitsExpr() (loopir.IExpr, error) {
+	var expr loopir.IExpr
+	names := make([]string, 0, len(c.spec.Dims))
+	for arr := range c.spec.Dims {
+		names = append(names, arr)
+	}
+	sort.Strings(names)
+	for _, arr := range names {
+		dim := c.spec.Dims[arr]
+		decl := c.prog.Array(arr)
+		if decl == nil {
+			return nil, fmt.Errorf("compile: distributed array %q not declared", arr)
+		}
+		if dim < 0 || dim >= len(decl.Dims) {
+			return nil, fmt.Errorf("compile: array %q has no dimension %d", arr, dim)
+		}
+		e := decl.Dims[dim]
+		if expr == nil {
+			expr = e
+		} else if expr.String() != e.String() {
+			return nil, fmt.Errorf("compile: distributed extents disagree: %s vs %s", expr.String(), e.String())
+		}
+	}
+	if expr == nil {
+		return nil, fmt.Errorf("compile: no distributed arrays")
+	}
+	return expr, nil
+}
+
+// transform builds the SPMD step tree mirroring the sequential loop
+// structure (§4.1).
+func (c *compiler) transform(stmts []loopir.Stmt, depth int) ([]Step, error) {
+	if c.ghostDeltas == nil {
+		c.ghostDeltas = map[int]bool{}
+		c.pendingExchanges = map[string][]Step{}
+		c.reductions = map[string]bool{}
+	}
+	var out []Step
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *loopir.Loop:
+			switch {
+			case c.isDistLoop(s.Var):
+				if s.BreakIf != nil {
+					return nil, fmt.Errorf("compile: distributed loop %q cannot carry a break condition", s.Var)
+				}
+				owned := &OwnedLoop{Var: s.Var, Lo: s.Lo, Hi: s.Hi, Body: s.Body}
+				comm, err := c.synthesizeComm(owned)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, comm.bcasts...)
+				if comm.marker != nil {
+					out = append(out, comm.marker)
+				}
+				out = append(out, owned)
+			case containsDistLoop(s.Body, c.spec.Loops):
+				body, err := c.transform(s.Body, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				// If the body carries a pipeline marker, this level is the
+				// one to strip-mine (§4.4).
+				if pre, post, rest, ok := extractPipes(body); ok {
+					if s.BreakIf != nil {
+						return nil, fmt.Errorf("compile: strip-mined loop %q cannot carry a break condition", s.Var)
+					}
+					// The strip-mined loop must scan the pipelined (non-
+					// distributed) dimension of the piped arrays; otherwise
+					// the program needs loop interchange first, which this
+					// compiler does not perform.
+					for _, st := range pre {
+						pr := st.(*PipeRecv)
+						dim, ok := c.varDimOfArray(s.Var, pr.Array)
+						if !ok {
+							return nil, fmt.Errorf(
+								"compile: pipelined array %q is not indexed by enclosing loop %q (distributed loop encloses the pipelined dimension; loop interchange required)",
+								pr.Array, s.Var)
+						}
+						pr.RowDim = dim
+					}
+					for _, st := range post {
+						ps := st.(*PipeSend)
+						if dim, ok := c.varDimOfArray(s.Var, ps.Array); ok {
+							ps.RowDim = dim
+						}
+					}
+					c.stripMined = true
+					out = append(out, &StripLoop{Var: s.Var, Lo: s.Lo, Hi: s.Hi, Pre: pre, Body: rest, Post: post})
+				} else {
+					if s.BreakIf != nil {
+						if err := c.checkBreakCond(s.BreakIf); err != nil {
+							return nil, err
+						}
+					}
+					out = append(out, &SeqLoop{Var: s.Var, Lo: s.Lo, Hi: s.Hi, Body: body, BreakIf: s.BreakIf})
+				}
+			default:
+				// No distributed loop inside: owner-computes block or
+				// replicated execution of the whole subtree.
+				steps, err := c.lowerNonDistributed([]loopir.Stmt{s})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, steps...)
+			}
+		case *loopir.Assign, *loopir.If:
+			steps, err := c.lowerNonDistributed([]loopir.Stmt{s})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, steps...)
+		default:
+			return nil, fmt.Errorf("compile: unknown statement %T", s)
+		}
+	}
+	return dedupeBcasts(mergeOwnerBlocks(out)), nil
+}
+
+// checkBreakCond verifies a break condition reads only replicated arrays:
+// every slave then evaluates it identically (reduction arrays are made
+// consistent by the Combine steps inserted before the check).
+func (c *compiler) checkBreakCond(cond *loopir.Cond) error {
+	var check func(e loopir.Expr) error
+	check = func(e loopir.Expr) error {
+		switch e := e.(type) {
+		case loopir.Ref:
+			if _, distributed := c.spec.Dims[e.Array]; distributed {
+				return fmt.Errorf("compile: break condition reads distributed array %q; only replicated data is allowed", e.Array)
+			}
+		case loopir.Bin:
+			if err := check(e.L); err != nil {
+				return err
+			}
+			return check(e.R)
+		}
+		return nil
+	}
+	if err := check(cond.L); err != nil {
+		return err
+	}
+	return check(cond.R)
+}
+
+// containsDistLoop reports whether the subtree contains a distributed loop.
+func containsDistLoop(stmts []loopir.Stmt, distLoops []string) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *loopir.Loop:
+			for _, l := range distLoops {
+				if s.Var == l {
+					return true
+				}
+			}
+			if containsDistLoop(s.Body, distLoops) {
+				return true
+			}
+		case *loopir.If:
+			if containsDistLoop(s.Then, distLoops) || containsDistLoop(s.Else, distLoops) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pipeMarker carries pipeline comm requirements upward from an OwnedLoop to
+// the sequential loop that will be strip-mined.
+type pipeMarker struct {
+	recv []Step // PipeRecv steps
+	send []Step // PipeSend steps
+}
+
+func (*pipeMarker) isStep() {}
+
+// extractPipes removes a pipeMarker from the step list, returning its
+// pre/post steps and the filtered list.
+func extractPipes(steps []Step) (pre, post, rest []Step, ok bool) {
+	for _, s := range steps {
+		if m, is := s.(*pipeMarker); is {
+			pre, post, ok = m.recv, m.send, true
+			continue
+		}
+		rest = append(rest, s)
+	}
+	if !ok {
+		rest = steps
+	}
+	return pre, post, rest, ok
+}
+
+type commNeeds struct {
+	bcasts []Step
+	marker *pipeMarker
+}
+
+// synthesizeComm inspects the reads and writes in a distributed loop body
+// and derives the required communication from the dependence analysis
+// (§3.2, §4.6). Writes must be local to the owner (owner-computes).
+func (c *compiler) synthesizeComm(owned *OwnedLoop) (commNeeds, error) {
+	var needs commNeeds
+	var pipeRecv, pipeSend []Step
+	seenBcast := map[string]bool{}
+	seenPipe := map[string]bool{}
+	seenExch := map[string]bool{}
+
+	var scanStmts func(stmts []loopir.Stmt) error
+	var scanExpr func(e loopir.Expr) error
+	scanExpr = func(e loopir.Expr) error {
+		switch e := e.(type) {
+		case loopir.Ref:
+			return c.classifyRead(owned, e, &needs, &pipeRecv, &pipeSend, seenBcast, seenPipe, seenExch)
+		case loopir.Bin:
+			if err := scanExpr(e.L); err != nil {
+				return err
+			}
+			return scanExpr(e.R)
+		}
+		return nil
+	}
+	scanStmts = func(stmts []loopir.Stmt) error {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *loopir.Loop:
+				if err := scanStmts(s.Body); err != nil {
+					return err
+				}
+			case *loopir.Assign:
+				if err := scanExpr(s.RHS); err != nil {
+					return err
+				}
+				if dim, distributed := c.spec.Dims[s.LHS.Array]; distributed {
+					if s.LHS.Idx[dim].String() != owned.Var {
+						return fmt.Errorf("compile: write %s is not owner-computes for loop %q", s.LHS.String(), owned.Var)
+					}
+				} else if err := c.classifyReplicatedWrite(s); err != nil {
+					return err
+				}
+			case *loopir.If:
+				if err := scanExpr(s.Cond.L); err != nil {
+					return err
+				}
+				if err := scanExpr(s.Cond.R); err != nil {
+					return err
+				}
+				if err := scanStmts(s.Then); err != nil {
+					return err
+				}
+				if err := scanStmts(s.Else); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := scanStmts(owned.Body); err != nil {
+		return commNeeds{}, err
+	}
+	if len(pipeRecv) > 0 {
+		needs.marker = &pipeMarker{recv: pipeRecv, send: pipeSend}
+	}
+	return needs, nil
+}
+
+// classifyRead decides how a read of a distributed array is satisfied:
+// locally, by a pipelined neighbor transfer (new values), by a sweep-start
+// ghost exchange (old values), or by an owner broadcast.
+func (c *compiler) classifyRead(owned *OwnedLoop, r loopir.Ref, needs *commNeeds, pipeRecv, pipeSend *[]Step, seenBcast, seenPipe, seenExch map[string]bool) error {
+	dim, distributed := c.spec.Dims[r.Array]
+	if !distributed {
+		return nil // replicated: always local
+	}
+	sub := r.Idx[dim]
+	lf, err := depend.Linearize(sub, c.isParam)
+	if err != nil {
+		return fmt.Errorf("compile: non-affine distributed subscript %s", r.String())
+	}
+	coeff, uses := lf.Vars[owned.Var]
+	switch {
+	case uses && coeff == 1 && len(lf.Vars) == 1 && len(lf.Params) == 0:
+		delta := lf.Const
+		if delta == 0 {
+			return nil // local
+		}
+		c.ghostDeltas[delta] = true
+		if delta < -1 || delta > 1 {
+			return fmt.Errorf("compile: ghost offset %d of %s unsupported (only ±1)", delta, r.String())
+		}
+		// Pipelined if a flow dependence carried by the distributed loop
+		// targets this read (the neighbor's new values are needed);
+		// otherwise a sweep-start exchange of old values.
+		if c.hasPipeFlow(owned.Var, r) {
+			key := fmt.Sprintf("%s@%d", r.Array, delta)
+			if !seenPipe[key] {
+				seenPipe[key] = true
+				*pipeRecv = append(*pipeRecv, &PipeRecv{Array: r.Array, Delta: delta})
+				*pipeSend = append(*pipeSend, &PipeSend{Array: r.Array, Delta: -delta})
+			}
+			return nil
+		}
+		key := fmt.Sprintf("%s@%d", r.Array, delta)
+		if !seenExch[key] {
+			seenExch[key] = true
+			carrier := c.exchangeCarrier(r)
+			c.pendingExchanges[carrier] = append(c.pendingExchanges[carrier], &Exchange{Array: r.Array, Delta: delta})
+		}
+		return nil
+	case !uses:
+		// The distributed subscript does not scan with the loop: the slice
+		// at that index must be broadcast by its owner.
+		key := r.Array + "@" + sub.String()
+		if !seenBcast[key] {
+			seenBcast[key] = true
+			needs.bcasts = append(needs.bcasts, &Bcast{Array: r.Array, Index: sub})
+		}
+		return nil
+	default:
+		return fmt.Errorf("compile: unsupported distributed subscript %s in %s", sub.String(), r.String())
+	}
+}
+
+// varDimOfArray returns the non-distributed dimension of the array whose
+// subscripts use loop variable v, if any.
+func (c *compiler) varDimOfArray(v, array string) (int, bool) {
+	distDim := c.spec.Dims[array]
+	for _, r := range c.analysis.Refs {
+		if r.Ref.Array != array {
+			continue
+		}
+		for dim, ie := range r.Ref.Idx {
+			if dim == distDim {
+				continue
+			}
+			lf, err := depend.Linearize(ie, c.isParam)
+			if err != nil {
+				continue
+			}
+			if _, ok := lf.Vars[v]; ok {
+				return dim, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// classifyReplicatedWrite handles a write to a non-distributed array inside
+// a distributed loop. The only supported form is a sum reduction
+// (r[c] = r[c] + expr with constant subscripts), whose per-slave partials a
+// Combine step later merges; anything else would silently diverge between
+// slaves.
+func (c *compiler) classifyReplicatedWrite(s *loopir.Assign) error {
+	isSelf := func(e loopir.Expr) bool {
+		r, ok := e.(loopir.Ref)
+		return ok && r.String() == s.LHS.String()
+	}
+	b, ok := s.RHS.(loopir.Bin)
+	if !ok || b.Op != '+' || (!isSelf(b.L) && !isSelf(b.R)) {
+		return fmt.Errorf("compile: write %s to replicated array inside a distributed loop is not a recognized sum reduction (need %s = %s + expr)",
+			s.LHS.String(), s.LHS.String(), s.LHS.String())
+	}
+	for _, ie := range s.LHS.Idx {
+		lf, err := depend.Linearize(ie, c.isParam)
+		if err != nil || len(lf.Vars) != 0 {
+			return fmt.Errorf("compile: reduction target %s must use loop-invariant subscripts", s.LHS.String())
+		}
+	}
+	c.reductions[s.LHS.Array] = true
+	return nil
+}
+
+// hasPipeFlow reports whether a flow dependence carried by the distributed
+// loop targets the given read.
+func (c *compiler) hasPipeFlow(distVar string, read loopir.Ref) bool {
+	for _, d := range c.deps {
+		if d.Kind == depend.Flow && d.Carrier == distVar && d.Dst.String() == read.String() {
+			return true
+		}
+	}
+	return false
+}
+
+// exchangeCarrier finds the outer loop whose iterations stale the ghost
+// data (the carrier of the flow dependence feeding this read); the exchange
+// is inserted at the start of that loop's body. "" means before the whole
+// program (read-only ghost data).
+func (c *compiler) exchangeCarrier(read loopir.Ref) string {
+	for _, d := range c.deps {
+		if d.Kind == depend.Flow && d.Dst.String() == read.String() && d.Carrier != "" && !c.isDistLoop(d.Carrier) {
+			return d.Carrier
+		}
+	}
+	return ""
+}
+
+// lowerNonDistributed handles statements outside any distributed loop:
+// owner-computes blocks (all distributed writes at one index expression) or
+// replicated execution. Distributed reads at a different index are
+// satisfied by an owner broadcast before the block, and the written unit is
+// re-broadcast afterwards so later readers anywhere see it — the paper's
+// broadcast-and-discard rule for locating distributed data (§4.6). This is
+// what makes, e.g., periodic boundary copies (b[0][*] = b[n-2][*]) work.
+func (c *compiler) lowerNonDistributed(stmts []loopir.Stmt) ([]Step, error) {
+	ownerKey := ""
+	var ownerExpr loopir.IExpr
+	replOnly := true
+	writtenArrays := map[string]bool{}
+	var inspect func(ss []loopir.Stmt) error
+	inspect = func(ss []loopir.Stmt) error {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *loopir.Loop:
+				if c.isDistLoop(s.Var) {
+					return fmt.Errorf("compile: distributed loop %q nested in unsupported context", s.Var)
+				}
+				if err := inspect(s.Body); err != nil {
+					return err
+				}
+			case *loopir.Assign:
+				dim, distributed := c.spec.Dims[s.LHS.Array]
+				if !distributed {
+					continue
+				}
+				replOnly = false
+				writtenArrays[s.LHS.Array] = true
+				e := s.LHS.Idx[dim]
+				if ownerExpr == nil {
+					ownerExpr = e
+					ownerKey = e.String()
+				} else if ownerKey != e.String() {
+					return fmt.Errorf("compile: statement group writes multiple owners (%s vs %s)", ownerKey, e.String())
+				}
+			case *loopir.If:
+				if err := inspect(s.Then); err != nil {
+					return err
+				}
+				if err := inspect(s.Else); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := inspect(stmts); err != nil {
+		return nil, err
+	}
+	if replOnly {
+		return []Step{&AllStmts{Body: stmts}}, nil
+	}
+	// Mixed owner-computes + replicated writes cannot work: only the owner
+	// would update the replicated data, diverging the other slaves.
+	var checkNoRepl func(ss []loopir.Stmt) error
+	checkNoRepl = func(ss []loopir.Stmt) error {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *loopir.Loop:
+				if err := checkNoRepl(s.Body); err != nil {
+					return err
+				}
+			case *loopir.Assign:
+				if _, distributed := c.spec.Dims[s.LHS.Array]; !distributed {
+					return fmt.Errorf("compile: owner block writes replicated array %q; split the statement group", s.LHS.Array)
+				}
+			case *loopir.If:
+				if err := checkNoRepl(s.Then); err != nil {
+					return err
+				}
+				if err := checkNoRepl(s.Else); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := checkNoRepl(stmts); err != nil {
+		return nil, err
+	}
+
+	// Variables bound by loops inside the block: a remote read whose
+	// distributed subscript depends on them would need per-element
+	// communication, which is not supported.
+	internal := map[string]bool{}
+	var collectVars func(ss []loopir.Stmt)
+	collectVars = func(ss []loopir.Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *loopir.Loop:
+				internal[s.Var] = true
+				collectVars(s.Body)
+			case *loopir.If:
+				collectVars(s.Then)
+				collectVars(s.Else)
+			}
+		}
+	}
+	collectVars(stmts)
+
+	// Non-local distributed reads become whole-unit broadcasts before the
+	// block.
+	var pre []Step
+	seen := map[string]bool{}
+	var checkReads func(ss []loopir.Stmt) error
+	var checkExpr func(e loopir.Expr) error
+	checkExpr = func(e loopir.Expr) error {
+		switch e := e.(type) {
+		case loopir.Ref:
+			dim, distributed := c.spec.Dims[e.Array]
+			if !distributed {
+				return nil
+			}
+			sub := e.Idx[dim]
+			if sub.String() == ownerKey {
+				return nil // owner-local
+			}
+			lf, err := depend.Linearize(sub, c.isParam)
+			if err != nil {
+				return fmt.Errorf("compile: non-affine distributed subscript %s", e.String())
+			}
+			for v := range lf.Vars {
+				if internal[v] {
+					return fmt.Errorf("compile: owner block (owner %s) reads %s with a block-internal index; per-element communication not supported", ownerKey, e.String())
+				}
+			}
+			key := e.Array + "@" + sub.String()
+			if !seen[key] {
+				seen[key] = true
+				pre = append(pre, &Bcast{Array: e.Array, Index: sub})
+			}
+		case loopir.Bin:
+			if err := checkExpr(e.L); err != nil {
+				return err
+			}
+			return checkExpr(e.R)
+		}
+		return nil
+	}
+	checkReads = func(ss []loopir.Stmt) error {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *loopir.Loop:
+				if err := checkReads(s.Body); err != nil {
+					return err
+				}
+			case *loopir.Assign:
+				if err := checkExpr(s.RHS); err != nil {
+					return err
+				}
+			case *loopir.If:
+				if err := checkExpr(s.Cond.L); err != nil {
+					return err
+				}
+				if err := checkExpr(s.Cond.R); err != nil {
+					return err
+				}
+				if err := checkReads(s.Then); err != nil {
+					return err
+				}
+				if err := checkReads(s.Else); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := checkReads(stmts); err != nil {
+		return nil, err
+	}
+
+	steps := append(pre, &OwnerBlock{Index: ownerExpr, Body: stmts})
+	// Publish the written unit so readers on other slaves (distributed
+	// loops or later owner blocks) observe the update.
+	arrs := make([]string, 0, len(writtenArrays))
+	for a := range writtenArrays {
+		arrs = append(arrs, a)
+	}
+	sort.Strings(arrs)
+	for _, a := range arrs {
+		steps = append(steps, &Bcast{Array: a, Index: ownerExpr})
+	}
+	return steps, nil
+}
+
+// dedupeBcasts removes a Bcast that immediately repeats an identical one
+// (e.g. an owner block's publish followed by a read-driven broadcast of the
+// same unit).
+func dedupeBcasts(steps []Step) []Step {
+	var out []Step
+	for _, s := range steps {
+		if b, ok := s.(*Bcast); ok && len(out) > 0 {
+			if prev, ok2 := out[len(out)-1].(*Bcast); ok2 &&
+				prev.Array == b.Array && prev.Index.String() == b.Index.String() {
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// mergeOwnerBlocks fuses adjacent OwnerBlocks with the same owner index and
+// drops nil placeholders left by extractPipes.
+func mergeOwnerBlocks(steps []Step) []Step {
+	var out []Step
+	for _, s := range steps {
+		if s == nil {
+			continue
+		}
+		if ob, ok := s.(*OwnerBlock); ok && len(out) > 0 {
+			if prev, ok2 := out[len(out)-1].(*OwnerBlock); ok2 && prev.Index.String() == ob.Index.String() {
+				prev.Body = append(prev.Body, ob.Body...)
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// placeExchanges inserts the pending Exchange steps at the start of their
+// carrier loops' bodies (or at the top level for carrier "").
+func (c *compiler) placeExchanges(steps []Step) error {
+	var walk func(ss []Step) []Step
+	walk = func(ss []Step) []Step {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *SeqLoop:
+				if ex := c.pendingExchanges[s.Var]; len(ex) > 0 {
+					s.Body = append(append([]Step{}, ex...), s.Body...)
+					delete(c.pendingExchanges, s.Var)
+				}
+				s.Body = walk(s.Body)
+			case *StripLoop:
+				if ex := c.pendingExchanges[s.Var]; len(ex) > 0 {
+					// Exchanges belong before the whole strip-mined sweep,
+					// which is this loop itself — hoist impossible here, so
+					// attach before the first block via Pre would repeat
+					// per block. This case cannot arise: exchanges are
+					// carried by loops enclosing the pipelined loop.
+					return ss
+				}
+				s.Body = walk(s.Body)
+			}
+		}
+		return ss
+	}
+	walk(steps)
+	// Remaining exchanges with carrier "" go before everything; any other
+	// leftover carrier means the loop was not found.
+	for carrier, ex := range c.pendingExchanges {
+		if carrier == "" {
+			// Prepend at top level: caller's steps slice is what we walked;
+			// handled by the caller via TopExchanges. Simplest: return an
+			// error if unplaced, since all our exchanges are loop-carried.
+			_ = ex
+			return fmt.Errorf("compile: one-time pre-distribution exchange not supported yet")
+		}
+		return fmt.Errorf("compile: exchange carrier loop %q not found in generated code", carrier)
+	}
+	return nil
+}
+
+// placeHooks appends a candidate Hook at the end of every sequential loop
+// body that contains distributed work, recording its nesting level. For a
+// strip-mined loop the hook fires after each block's pipeline sends (the
+// paper's lbhook1a position).
+func (c *compiler) placeHooks(steps []Step, depth int) bool {
+	contains := false
+	for _, s := range steps {
+		switch s := s.(type) {
+		case *SeqLoop:
+			if c.placeHooks(s.Body, depth+1) {
+				s.Body = append(s.Body, &Hook{ID: c.hookID, Level: depth})
+				c.hookID++
+				contains = true
+			}
+		case *StripLoop:
+			inner := c.placeHooks(s.Body, depth+1)
+			if inner {
+				s.Post = append(s.Post, &Hook{ID: c.hookID, Level: depth})
+				c.hookID++
+				contains = true
+			}
+		case *OwnedLoop, *OwnerBlock:
+			contains = true
+		}
+	}
+	return contains
+}

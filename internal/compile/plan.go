@@ -1,0 +1,221 @@
+// Package compile is the parallelizing compiler: it turns a sequential
+// loopir program plus a data-distribution directive into an SPMD slave
+// program with dynamic-load-balancing support — the code-generation side of
+// the paper (Table 2):
+//
+//   - owner-computes distribution of the loops that scan the distributed
+//     dimension, preserving the sequential loop structure (§4.1),
+//   - boundary-exchange, pipelined, and broadcast communication synthesized
+//     from the dependence analysis (§3.2, §4.6),
+//   - strip mining of pipelined loops with a startup-measured grain (§4.4),
+//   - load-balancing hook placement by the 1% cost rule (§4.2),
+//   - application-specific work-movement payloads, including the ghost data
+//     adjacent to moved slices (§4.5),
+//   - master control metadata mirroring the slave loop structure, so the
+//     master executes the same number of load-balancing phases and can
+//     deactivate completed work (§4.1, §4.7),
+//   - a printable pseudo-source rendering of the generated program.
+//
+// The output Plan is the executable artifact (closures and step descriptors
+// standing in for the C code the paper's compiler emits); internal/dlb
+// executes it on a cluster.
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/depend"
+	"repro/internal/loopir"
+)
+
+// Step is one node of the generated SPMD slave program.
+type Step interface {
+	isStep()
+}
+
+// SeqLoop is a sequential loop executed by every slave (outer loops of the
+// original nest). Bounds may reference parameters and enclosing loop
+// variables. BreakIf carries a data-dependent termination condition (§4.1:
+// the WHILE case); every slave evaluates it identically against combined
+// reduction values, so all slaves (and hence the master's phase count)
+// terminate consistently.
+type SeqLoop struct {
+	Var     string
+	Lo, Hi  loopir.IExpr
+	Body    []Step
+	BreakIf *loopir.Cond
+}
+
+// StripLoop is a strip-mined pipelined loop (§4.4): the original sequential
+// loop Var is executed in blocks of a grain size chosen at startup. Pre
+// runs before each block (pipeline receives), Post after (pipeline sends);
+// both see the block's [BlockLo, BlockHi) range of Var.
+type StripLoop struct {
+	Var    string
+	Lo, Hi loopir.IExpr
+	Pre    []Step // PipeRecv steps
+	Body   []Step
+	Post   []Step // PipeSend steps
+}
+
+// OwnedLoop is the distributed loop: each slave iterates the units it owns
+// that are active and inside [Lo, Hi), ascending, executing Body (the
+// original loop body) with Var bound to the unit index.
+type OwnedLoop struct {
+	Var    string
+	Lo, Hi loopir.IExpr
+	Body   []loopir.Stmt
+}
+
+// OwnerBlock is a statement subtree executed only by the owner of the
+// distributed-dimension index Index (owner-computes for writes whose
+// distributed subscript is not a distributed loop — LU's pivot-column
+// normalization).
+type OwnerBlock struct {
+	Index loopir.IExpr
+	Body  []loopir.Stmt
+}
+
+// AllStmts is a statement subtree executed identically by every slave
+// (writes to replicated arrays only).
+type AllStmts struct {
+	Body []loopir.Stmt
+}
+
+// Exchange is a pre-sweep ghost exchange: every slave sends the content of
+// its boundary units to the slaves that read them at offset Delta, so reads
+// of unit u+Delta observe the previous sweep's values. In a block
+// distribution this is the classic neighbor ghost exchange (the paper's
+// sweep-start send/receive in Figure 3a).
+type Exchange struct {
+	Array string
+	Delta int // read offset on the distributed dimension (non-zero)
+}
+
+// PipeRecv receives, for the current strip block, the rows of the ghost
+// unit at offset Delta from the slave's first owned unit — values computed
+// earlier in the same sweep by the neighbor (pipelined flow dependence).
+// RowDim is the array dimension scanned by the strip-mined loop (the rows
+// being selected).
+type PipeRecv struct {
+	Array  string
+	Delta  int // negative: ghost below the first owned unit
+	RowDim int
+}
+
+// PipeSend sends, for the current strip block, the rows of the slave's
+// boundary owned unit to the neighbor that will read them at offset Delta.
+type PipeSend struct {
+	Array  string
+	Delta  int // positive: the right neighbor reads our last owned unit
+	RowDim int
+}
+
+// Bcast broadcasts one unit (the distributed-dimension slice at Index) of
+// the array from its owner to every other slave (LU's pivot column). The
+// paper's broadcast-and-discard rule for locating distributed data (§4.6).
+type Bcast struct {
+	Array string
+	Index loopir.IExpr
+}
+
+// Combine is an all-reduce of a replicated reduction array: every slave's
+// accumulated contribution since the last Combine is summed in slave order
+// (so floating point is identical everywhere) and the result replaces the
+// array on all slaves.
+type Combine struct {
+	Array string
+	Op    byte // '+' (sum) is the supported reduction operator
+}
+
+// Hook is a candidate load-balancing hook site (§4.2). Exactly one Level is
+// chosen at instantiation by the 1% rule; hooks at other levels are inert.
+type Hook struct {
+	ID    int
+	Level int // loop nesting depth of the hook site (0 = outermost loop)
+}
+
+func (*SeqLoop) isStep()    {}
+func (*StripLoop) isStep()  {}
+func (*OwnedLoop) isStep()  {}
+func (*OwnerBlock) isStep() {}
+func (*AllStmts) isStep()   {}
+func (*Exchange) isStep()   {}
+func (*PipeRecv) isStep()   {}
+func (*PipeSend) isStep()   {}
+func (*Bcast) isStep()      {}
+func (*Combine) isStep()    {}
+func (*Hook) isStep()       {}
+
+// ReduceSpec records a recognized sum reduction into a replicated array
+// (e.g. a convergence residual accumulated inside the distributed loop).
+type ReduceSpec struct {
+	Array string
+	Op    byte
+}
+
+// Plan is the compiled SPMD program, independent of parameter values and
+// slave count.
+type Plan struct {
+	Prog  *loopir.Program
+	Dist  depend.DistSpec
+	Props depend.Properties
+	// Restricted: work movement must preserve the block distribution
+	// because dependences cross distributed-loop indices.
+	Restricted bool
+	// UnitsExpr is the extent of the distributed dimension (number of work
+	// units/data slices), in terms of parameters.
+	UnitsExpr loopir.IExpr
+	// Steps is the generated slave program.
+	Steps []Step
+	// DistArrays maps each distributed array to its distributed dimension.
+	DistArrays map[string]int
+	// Replicated lists arrays kept whole on every slave.
+	Replicated []string
+	// GhostDeltas are the non-zero distributed-dimension read offsets; work
+	// movement must ship the adjacent ghost units alongside moved slices.
+	GhostDeltas []int
+	// StripMined reports whether a pipelined loop was strip mined.
+	StripMined bool
+	// HookCount is the number of candidate hook sites.
+	HookCount int
+	// Reductions lists the recognized replicated-array reductions.
+	Reductions []ReduceSpec
+	// Source is the pseudo-source listing of the generated program.
+	Source string
+}
+
+// PhaseMeta describes one hook instance for the master's control program:
+// which units are active going into that phase, mirroring the slave loop
+// structure (§4.1, §4.7).
+type PhaseMeta struct {
+	// ActiveLo and ActiveHi bound the active units ([lo, hi)) at this hook.
+	ActiveLo, ActiveHi int
+	// UnitsBetween is the total distributed-loop iterations executed by all
+	// slaves together since the previous hook instance.
+	UnitsBetween int
+}
+
+// Exec is a plan instantiated with concrete parameters: hook level chosen,
+// phase schedule computed, cost estimates fixed.
+type Exec struct {
+	Plan   *Plan
+	Params map[string]int
+	// Units is the concrete number of work units.
+	Units int
+	// ActiveLevel is the hook nesting level selected by the 1% rule.
+	ActiveLevel int
+	// Phases is the master's phase schedule: one entry per active-hook
+	// instance, in execution order.
+	Phases []PhaseMeta
+	// FlopsPerUnit estimates the cost of one distributed-loop iteration
+	// (midpoint estimate over outer indices).
+	FlopsPerUnit float64
+	// TotalFlops estimates the whole computation.
+	TotalFlops float64
+}
+
+func (e *Exec) String() string {
+	return fmt.Sprintf("exec %s: %d units, hook level %d, %d phases",
+		e.Plan.Prog.Name, e.Units, e.ActiveLevel, len(e.Phases))
+}

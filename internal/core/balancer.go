@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// Config controls the load-balancing algorithm. The zero value is not
+// usable; see DefaultConfig.
+type Config struct {
+	// Slaves is the number of worker processors.
+	Slaves int
+	// Restricted selects adjacent-only, block-preserving movement (needed
+	// when the distributed loop carries dependences, Figure 1b).
+	Restricted bool
+	// MinImprovement is the projected-improvement threshold below which no
+	// movement instructions are generated (paper: 10%). Zero disables it.
+	MinImprovement float64
+	// DisableFilter bypasses rate filtering (ablation).
+	DisableFilter bool
+	// DisableProfitability bypasses the profitability determination
+	// (ablation).
+	DisableProfitability bool
+	// FilterMinWeight and FilterMaxWeight bound the trend-adaptive sample
+	// weight of the rate filter.
+	FilterMinWeight, FilterMaxWeight float64
+	// Quantum is the OS scheduling quantum on the slaves.
+	Quantum time.Duration
+	// MaxSkip caps the number of hooks skipped between interactions.
+	MaxSkip int
+}
+
+// DefaultConfig returns the paper's parameter choices.
+func DefaultConfig(slaves int, restricted bool) Config {
+	return Config{
+		Slaves:          slaves,
+		Restricted:      restricted,
+		MinImprovement:  0.10,
+		FilterMinWeight: 0.25,
+		FilterMaxWeight: 1.0,
+		Quantum:         100 * time.Millisecond,
+		MaxSkip:         50,
+	}
+}
+
+// Status is one slave's report at a load-balancing point.
+type Status struct {
+	// Rate is the measured computation rate in work units per second since
+	// the previous report.
+	Rate float64
+	// MoveCost is the measured duration of the last work movement this
+	// slave performed (0 if none since the previous report).
+	MoveCost time.Duration
+	// InteractionCost is the measured cost of the status/instruction
+	// exchange itself.
+	InteractionCost time.Duration
+}
+
+// Decision is the master's output for one load-balancing phase.
+type Decision struct {
+	// Moves are the work transfers to perform (empty if balanced or
+	// suppressed).
+	Moves []Move
+	// SkipHooks tells slaves how many hook instances to skip before the
+	// next interaction.
+	SkipHooks int
+	// Period is the target time between load balancings.
+	Period time.Duration
+	// FilteredRates are the post-filter per-slave rates used.
+	FilteredRates []float64
+	// Improvement is the projected fractional reduction in completion time
+	// of the new distribution over the current one.
+	Improvement float64
+	// Suppressed explains why moves were withheld: "", "below-threshold",
+	// or "not-profitable".
+	Suppressed string
+	// Targets is the per-slave target active-unit allocation.
+	Targets []int
+}
+
+// Balancer is the master-side decision engine. It owns the authoritative
+// Ownership map; the run-time system feeds it slave statuses and forwards
+// the resulting moves.
+type Balancer struct {
+	cfg      Config
+	own      *Ownership
+	filters  []*RateFilter
+	costs    *MoveCostModel
+	lastMove time.Duration // most recent measured movement cost
+	lastInt  time.Duration // most recent measured interaction cost
+}
+
+// NewBalancer creates a balancer over an initial distribution. The cost
+// model provides prior estimates for movement cost until real measurements
+// arrive.
+func NewBalancer(cfg Config, own *Ownership, costs *MoveCostModel) *Balancer {
+	if cfg.Slaves != own.Slaves() {
+		panic("core: config/ownership slave count mismatch")
+	}
+	if cfg.FilterMinWeight == 0 {
+		cfg.FilterMinWeight = 0.25
+	}
+	if cfg.FilterMaxWeight == 0 {
+		cfg.FilterMaxWeight = 1.0
+	}
+	b := &Balancer{cfg: cfg, own: own, costs: costs}
+	for i := 0; i < cfg.Slaves; i++ {
+		b.filters = append(b.filters, NewRateFilter(cfg.FilterMinWeight, cfg.FilterMaxWeight))
+	}
+	return b
+}
+
+// Ownership exposes the balancer's authoritative distribution map.
+func (b *Balancer) Ownership() *Ownership { return b.own }
+
+// Deactivate marks a unit as having no remaining work.
+func (b *Balancer) Deactivate(unit int) { b.own.Deactivate(unit) }
+
+// completionTime is the projected time for the slowest slave to finish its
+// allocation at the given rates.
+func completionTime(counts []int, rates []float64) float64 {
+	worst := 0.0
+	for i := range counts {
+		if counts[i] == 0 {
+			continue
+		}
+		if rates[i] <= 0 {
+			return math.Inf(1)
+		}
+		if t := float64(counts[i]) / rates[i]; t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// Step runs one load-balancing phase: filter rates, compute the
+// proportional target allocation, apply the improvement threshold and
+// profitability determination, update ownership, and derive the next
+// period and hook-skip count. unitsPerHook is the total work (active
+// units across all slaves) executed between consecutive hook instances.
+func (b *Balancer) Step(statuses []Status, unitsPerHook float64) Decision {
+	if len(statuses) != b.cfg.Slaves {
+		panic("core: status count mismatch")
+	}
+	rates := make([]float64, b.cfg.Slaves)
+	sumRate := 0.0
+	for i, st := range statuses {
+		if b.cfg.DisableFilter {
+			rates[i] = st.Rate
+		} else {
+			rates[i] = b.filters[i].Update(st.Rate)
+		}
+		if rates[i] < 0 {
+			rates[i] = 0
+		}
+		sumRate += rates[i]
+		if st.MoveCost > 0 {
+			b.lastMove = st.MoveCost
+		}
+		if st.InteractionCost > 0 {
+			b.lastInt = st.InteractionCost
+		}
+	}
+
+	period := TargetPeriod(PeriodInputs{
+		MoveCost:        b.lastMove,
+		InteractionCost: b.lastInt,
+		Quantum:         b.cfg.Quantum,
+	})
+
+	var hookInterval time.Duration
+	if sumRate > 0 && unitsPerHook > 0 {
+		hookInterval = time.Duration(unitsPerHook / sumRate * float64(time.Second))
+	}
+	skip := HookSkip(period, hookInterval, b.cfg.MaxSkip)
+
+	d := Decision{
+		Period:        period,
+		SkipHooks:     skip,
+		FilteredRates: rates,
+	}
+
+	total := b.own.ActiveTotal()
+	if total == 0 {
+		return d
+	}
+	counts := b.own.ActiveCounts()
+	targets := apportion(total, rates)
+	d.Targets = targets
+
+	before := completionTime(counts, rates)
+	after := completionTime(targets, rates)
+	switch {
+	case math.IsInf(before, 1) && !math.IsInf(after, 1):
+		d.Improvement = 1
+	case before <= 0 || math.IsInf(after, 1):
+		d.Improvement = 0
+	default:
+		d.Improvement = 1 - after/before
+	}
+
+	if d.Improvement < b.cfg.MinImprovement || d.Improvement <= 0 {
+		d.Suppressed = "below-threshold"
+		return d
+	}
+
+	var moves []Move
+	if b.cfg.Restricted {
+		moves = movesRestricted(b.own, targets)
+	} else {
+		moves = movesUnrestricted(b.own, targets)
+	}
+	if len(moves) == 0 {
+		return d
+	}
+
+	if !b.cfg.DisableProfitability {
+		cost := b.costs.EstimateMoves(moves)
+		benefit := time.Duration(d.Improvement * float64(period))
+		if cost > benefit {
+			d.Suppressed = "not-profitable"
+			return d
+		}
+	}
+
+	for _, m := range moves {
+		if err := b.own.Apply(m); err != nil {
+			// Internal invariant violation: the move generators only emit
+			// moves consistent with the ownership map.
+			panic(err)
+		}
+	}
+	d.Moves = moves
+	return d
+}
+
+// ObserveMoveCost lets the run-time report a measured movement so the cost
+// model improves over time.
+func (b *Balancer) ObserveMoveCost(units int, cost time.Duration) {
+	b.costs.Observe(units, cost)
+	if cost > 0 {
+		b.lastMove = cost
+	}
+}

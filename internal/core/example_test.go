@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// One load-balancing decision: four slaves, one at half speed. The balancer
+// filters the rates, computes a rate-proportional allocation, and emits the
+// movement instructions.
+func Example() {
+	cfg := core.DefaultConfig(4, false) // unrestricted movement
+	own := core.NewBlockOwnership(100, 4)
+	bal := core.NewBalancer(cfg, own, core.NewMoveCostModel(time.Millisecond, 10*time.Microsecond))
+
+	statuses := []core.Status{
+		{Rate: 50}, {Rate: 100}, {Rate: 100}, {Rate: 100},
+	}
+	var d core.Decision
+	for i := 0; i < 4; i++ { // feed the trend filter until it converges
+		d = bal.Step(statuses, 100)
+	}
+	fmt.Println("targets:", d.Targets)
+	fmt.Println("counts: ", own.ActiveCounts())
+	// Output:
+	// targets: [14 29 29 28]
+	// counts:  [14 29 29 28]
+}
+
+// The adaptive period rule (paper Figure 4).
+func ExampleTargetPeriod() {
+	p := core.TargetPeriod(core.PeriodInputs{
+		MoveCost:        8 * time.Second,        // 0.1x -> 800ms
+		InteractionCost: 10 * time.Millisecond,  // 20x -> 200ms
+		Quantum:         100 * time.Millisecond, // 5x -> 500ms
+	})
+	fmt.Println(p)
+	// Output: 800ms
+}
+
+// Strip-mining grain selection (paper §4.4: blocks of ~1.5 quanta).
+func ExampleGrainSize() {
+	g := core.GrainSize(3*time.Millisecond, 100*time.Millisecond, 1.5)
+	fmt.Println(g, "iterations per block")
+	// Output: 50 iterations per block
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestBalancerInvariantsQuick drives a balancer with random rate sequences
+// and checks the invariants every step:
+//   - active units are conserved (moves never lose or duplicate work),
+//   - restricted mode keeps the block property and adjacent-only moves,
+//   - the decision's targets always sum to the active total,
+//   - the period never falls below the quantum floor.
+func TestBalancerInvariantsQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		slaves := 2 + r.Intn(6)
+		units := slaves + r.Intn(60)
+		restricted := r.Intn(2) == 0
+		cfg := DefaultConfig(slaves, restricted)
+		own := NewBlockOwnership(units, slaves)
+		bal := NewBalancer(cfg, own, NewMoveCostModel(time.Millisecond, 10*time.Microsecond))
+
+		total := own.ActiveTotal()
+		for step := 0; step < 12; step++ {
+			// Occasionally retire some units (LU-style shrinking).
+			if r.Intn(3) == 0 && own.ActiveTotal() > slaves {
+				for u := 0; u < units; u++ {
+					if own.IsActive(u) && r.Intn(8) == 0 {
+						own.Deactivate(u)
+					}
+				}
+				total = own.ActiveTotal()
+			}
+			statuses := make([]Status, slaves)
+			for i := range statuses {
+				statuses[i] = Status{Rate: 1 + r.Float64()*99}
+			}
+			d := bal.Step(statuses, float64(total))
+
+			if own.ActiveTotal() != total {
+				return false
+			}
+			if restricted && !own.IsBlock() {
+				return false
+			}
+			for _, m := range d.Moves {
+				if restricted && m.To-m.From != 1 && m.To-m.From != -1 {
+					return false
+				}
+				if len(m.Units) == 0 {
+					return false
+				}
+			}
+			if d.Targets != nil {
+				sum := 0
+				for _, v := range d.Targets {
+					sum += v
+				}
+				if sum != total {
+					return false
+				}
+			}
+			if d.Period < 500*time.Millisecond {
+				return false
+			}
+			if d.SkipHooks < 0 || d.SkipHooks > cfg.MaxSkip {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFilterBoundedQuick: the filtered rate always stays within the range
+// of values seen so far (a convex-combination property of the trend
+// filter).
+func TestFilterBoundedQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := NewRateFilter(0.25, 1.0)
+		lo, hi := 1e18, -1e18
+		for i := 0; i < 50; i++ {
+			v := r.Float64() * 1000
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			got := f.Update(v)
+			if got < lo-1e-9 || got > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApportionMonotoneQuick: raising one slave's rate never lowers its
+// allocation (house-monotonicity in the rate argument for the largest-
+// remainder method can fail in theory for population paradox cases, but
+// must hold when only one rate increases and the others are fixed — if it
+// doesn't, the balancer could oscillate. Verify empirically over random
+// instances; tolerate equality).
+func TestApportionMonotoneQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		total := 10 + r.Intn(100)
+		rates := make([]float64, n)
+		for i := range rates {
+			rates[i] = 0.5 + r.Float64()*10
+		}
+		before := apportion(total, rates)
+		k := r.Intn(n)
+		rates[k] *= 1.5
+		after := apportion(total, rates)
+		// The boosted slave must not lose more than 1 unit (largest
+		// remainder can wobble by one).
+		return after[k] >= before[k]-1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+package dlb
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loopir"
+)
+
+// Message payloads. In the simulated cluster these travel by reference but
+// all float data is copied at send time, so the timing model and the data
+// flow match a real message-passing system.
+
+// StatusMsg is a slave's report at a load-balancing contact (or, with
+// tag "done", its termination announcement).
+type StatusMsg struct {
+	Phase     int
+	HookIndex int
+	Units     float64       // work units completed since the last contact
+	Busy      time.Duration // busy time spent computing since the last contact
+	MoveCost  time.Duration // measured cost of the last work movement
+	InterCost time.Duration // measured cost of the previous interaction
+	Done      bool
+}
+
+// InstrMsg is the master's reply: redistribution moves and the hook-skip
+// count until the next contact.
+type InstrMsg struct {
+	Phase     int // the contact phase whose statuses produced this instruction
+	HookIndex int
+	Moves     []core.Move
+	SkipHooks int
+}
+
+// WorkMsg carries moved work units' data plus the ghost slices adjacent to
+// the moved range (§4.5: moved iterations must arrive in a consistent
+// state; shipping the sender's ghost data achieves that).
+type WorkMsg struct {
+	Units  []int
+	Data   map[string][][]float64       // array -> slices aligned with Units
+	Ghosts map[string]map[int][]float64 // array -> ghost unit -> slice
+}
+
+// SliceMsg is a pipeline, exchange, or broadcast transfer of (part of) one
+// unit slice.
+type SliceMsg struct {
+	Unit         int
+	RowLo, RowHi int // -1,-1 for a whole-unit transfer
+	Vals         []float64
+}
+
+// InitMsg is the initial scatter: a slave's owned slices of each
+// distributed array plus full copies of the replicated arrays.
+type InitMsg struct {
+	Owned      map[string]map[int][]float64
+	Replicated map[string][]float64
+}
+
+// GatherMsg is the final collection of a slave's owned data.
+type GatherMsg struct {
+	Data map[string]map[int][]float64
+	// Reduced carries the final combined values of reduction arrays
+	// (reported by slave 0; identical on every slave after Combine).
+	Reduced map[string][]float64
+}
+
+const msgHeader = 32 // estimated fixed framing bytes per message
+
+func floatsBytes(n int) int { return msgHeader + 8*n }
+
+// unitSize returns the number of elements in one distributed slice of the
+// array.
+func unitSize(a *loopir.Array, dim int) int {
+	return len(a.Data) / a.Dims[dim]
+}
+
+// unitSlice copies the elements of the array with index dim fixed at u, in
+// canonical (row-major, dim removed) order.
+func unitSlice(a *loopir.Array, dim, u int) []float64 {
+	out := make([]float64, 0, unitSize(a, dim))
+	forEachUnitElem(a, dim, u, -1, 0, 0, func(flat int) {
+		out = append(out, a.Data[flat])
+	})
+	return out
+}
+
+// setUnitSlice writes a slice produced by unitSlice back at index u.
+func setUnitSlice(a *loopir.Array, dim, u int, vals []float64) {
+	i := 0
+	forEachUnitElem(a, dim, u, -1, 0, 0, func(flat int) {
+		a.Data[flat] = vals[i]
+		i++
+	})
+	if i != len(vals) {
+		panic(fmt.Sprintf("dlb: slice length %d does not match unit size %d", len(vals), i))
+	}
+}
+
+// unitSliceRows copies the elements with index dim = u and rowDim in
+// [rowLo, rowHi).
+func unitSliceRows(a *loopir.Array, dim, u, rowDim, rowLo, rowHi int) []float64 {
+	var out []float64
+	forEachUnitElem(a, dim, u, rowDim, rowLo, rowHi, func(flat int) {
+		out = append(out, a.Data[flat])
+	})
+	return out
+}
+
+// setUnitSliceRows writes back a slice produced by unitSliceRows.
+func setUnitSliceRows(a *loopir.Array, dim, u, rowDim, rowLo, rowHi int, vals []float64) {
+	i := 0
+	forEachUnitElem(a, dim, u, rowDim, rowLo, rowHi, func(flat int) {
+		a.Data[flat] = vals[i]
+		i++
+	})
+	if i != len(vals) {
+		panic(fmt.Sprintf("dlb: row slice length %d does not match selection %d", len(vals), i))
+	}
+}
+
+// forEachUnitElem visits the flat offsets of the array with index dim = u,
+// optionally restricted to rowDim in [rowLo, rowHi), in canonical order.
+func forEachUnitElem(a *loopir.Array, dim, u, rowDim, rowLo, rowHi int, fn func(flat int)) {
+	idx := make([]int, len(a.Dims))
+	var rec func(d, flat int)
+	rec = func(d, flat int) {
+		if d == len(a.Dims) {
+			fn(flat)
+			return
+		}
+		if d == dim {
+			rec(d+1, flat+u*a.Stride[d])
+			return
+		}
+		lo, hi := 0, a.Dims[d]
+		if d == rowDim {
+			lo, hi = rowLo, rowHi
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > a.Dims[d] {
+				hi = a.Dims[d]
+			}
+		}
+		for v := lo; v < hi; v++ {
+			idx[d] = v
+			rec(d+1, flat+v*a.Stride[d])
+		}
+	}
+	rec(0, 0)
+}
+
+// ghostNeeds lists the units (ascending) that slave me must receive to
+// satisfy reads at the given distributed-dimension offset: units g = j +
+// delta read by my active owned units j but owned elsewhere.
+func ghostNeeds(o *core.Ownership, me, delta int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, j := range o.OwnedActive(me) {
+		g := j + delta
+		if g < 0 || g >= o.Units() || o.OwnerOf(g) == me || seen[g] {
+			continue
+		}
+		seen[g] = true
+		out = append(out, g)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ghostSupply lists (ascending by unit) the units slave me must send, with
+// their destinations: units g owned by me whose reader j = g − delta is an
+// active unit owned by another slave.
+type supply struct {
+	Unit int
+	To   int
+}
+
+func ghostSupplies(o *core.Ownership, me, delta int) []supply {
+	var out []supply
+	seen := map[[2]int]bool{}
+	for _, g := range o.Owned(me) {
+		j := g - delta
+		if j < 0 || j >= o.Units() || !o.IsActive(j) {
+			continue
+		}
+		to := o.OwnerOf(j)
+		if to == me {
+			continue
+		}
+		key := [2]int{g, to}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, supply{Unit: g, To: to})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Unit != out[j].Unit {
+			return out[i].Unit < out[j].Unit
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// contiguousRuns decomposes an ascending unit list intersected with
+// [lo, hi) into maximal [start, end) runs.
+func contiguousRuns(units []int, lo, hi int) [][2]int {
+	var runs [][2]int
+	for i := 0; i < len(units); {
+		u := units[i]
+		if u < lo {
+			i++
+			continue
+		}
+		if u >= hi {
+			break
+		}
+		start := u
+		end := u + 1
+		i++
+		for i < len(units) && units[i] == end && end < hi {
+			end++
+			i++
+		}
+		runs = append(runs, [2]int{start, end})
+	}
+	return runs
+}

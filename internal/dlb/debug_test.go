@@ -1,0 +1,45 @@
+package dlb
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/loopir"
+)
+
+// TestDebugJacobiSmall is a diagnostic: dump the element-wise differences
+// for a tiny Jacobi run. Kept as a regression canary (it fails loudly with
+// a map of wrong elements if data movement breaks).
+func TestDebugJacobiSmall(t *testing.T) {
+	plan := planFor(t, "jacobi")
+	params := map[string]int{"n": 8, "maxiter": 1}
+	cfg := Config{Plan: plan, Params: params, DLB: false}
+	res, err := Run(cfg, cluster.Config{Slaves: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := loopir.NewInstance(plan.Prog, params)
+	if err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	for _, name := range []string{"a", "anew"} {
+		want, got := ref.Arrays[name], res.Final[name]
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				w, g := want.At(i, j), got.At(i, j)
+				if w != g {
+					bad++
+					if bad < 20 {
+						t.Logf("%s[%d][%d]: got %v want %v", name, i, j, g, w)
+					}
+				}
+			}
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%d wrong elements", bad)
+	}
+	_ = fmt.Sprint
+}

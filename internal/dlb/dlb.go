@@ -1,0 +1,241 @@
+// Package dlb is the run-time library for automatically generated parallel
+// programs with dynamic load balancing — the paper's master/slave system
+// (§3, §4) executing compile.Plan programs on a simulated workstation
+// cluster.
+//
+// One master process and N slave processes run on a cluster.Cluster.
+// Slaves execute the generated step tree on full-size local arrays (only
+// owned slices hold valid data; the ownership map is the paper's index
+// array), exchanging boundary and pipeline data directly with each other.
+// At load-balancing hooks they report work units per second of busy time to
+// the master, which runs the internal/core balancing algorithm and returns
+// redistribution instructions; work (data slices plus adjacent ghost
+// slices) then moves directly between slaves. Master interactions are
+// pipelined by default (§3.3) — instructions received at hook n were
+// computed from the statuses of hook n−1 — or synchronous for the ablation
+// experiment.
+package dlb
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/loopir"
+	"repro/internal/vtime"
+)
+
+// Config controls one parallel run.
+type Config struct {
+	// Plan is the compiled program.
+	Plan *compile.Plan
+	// Params binds the program parameters.
+	Params map[string]int
+	// DLB enables dynamic load balancing; when false the initial block
+	// distribution is kept for the whole run (the paper's "parallel
+	// execution" baseline).
+	DLB bool
+	// Synchronous selects blocking master interactions instead of
+	// pipelined ones (§3.3 ablation).
+	Synchronous bool
+	// Balancer overrides parts of the core configuration. Slaves,
+	// Restricted and Quantum are filled in by the runtime.
+	MinImprovement       float64 // 0 means the paper's 10%
+	DisableFilter        bool
+	DisableProfitability bool
+	// FlopCost is the virtual CPU time per floating-point operation at
+	// baseline speed. The default (1 µs) calibrates the simulated
+	// workstations to the paper's Sun 4/330s (~1 Mflop/s), matching the
+	// axis scale of Figures 5-8.
+	FlopCost time.Duration
+	// HookCheckCost is the bookkeeping cost of visiting an inactive hook.
+	HookCheckCost time.Duration
+	// MasterDecisionCost is the master's CPU cost per load-balancing phase.
+	MasterDecisionCost time.Duration
+	// GrainFactor scales the strip-mining grain (blocks cost GrainFactor x
+	// quantum); the paper uses 1.5. ForcedGrain overrides the computed
+	// grain when positive (grain-size ablation; 1 disables strip mining's
+	// benefit, reproducing Figure 3b's fine-grain pipeline).
+	GrainFactor float64
+	ForcedGrain int
+	// CompileOpts carries the hook cost model for instantiation.
+	CompileOpts compile.Options
+	// CollectTrace records per-phase rate/work samples (Figure 9).
+	CollectTrace bool
+	// RealQuantum is the grain-sizing target quantum for RunReal (default
+	// 10 ms; real OS slices are far shorter than the Sun 4/330's 100 ms).
+	RealQuantum time.Duration
+	// RealDrag slows individual slaves in RunReal by the given factor
+	// (>= 1), emulating slower or loaded machines with controlled sleeps.
+	RealDrag []float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.FlopCost <= 0 {
+		c.FlopCost = time.Microsecond
+	}
+	if c.HookCheckCost <= 0 {
+		c.HookCheckCost = 10 * time.Microsecond
+	}
+	if c.MasterDecisionCost <= 0 {
+		c.MasterDecisionCost = 200 * time.Microsecond
+	}
+	if c.GrainFactor <= 0 {
+		c.GrainFactor = 1.5
+	}
+	if c.MinImprovement == 0 {
+		c.MinImprovement = 0.10
+	}
+	return c
+}
+
+// Sample is one trace record: a slave's reported and filtered rates and its
+// resulting work assignment at a load-balancing phase (Figure 9's series).
+type Sample struct {
+	Time     time.Duration
+	Phase    int
+	Slave    int
+	RawRate  float64
+	Filtered float64
+	Work     int
+	// SkipHooks is the hook-skip count chosen at this phase (§4.3; grows
+	// as per-invocation work shrinks, e.g. LU §4.7).
+	SkipHooks int
+	// Period is the target load-balancing period chosen at this phase.
+	Period time.Duration
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Elapsed is the virtual time from start to the last gather.
+	Elapsed time.Duration
+	// ComputeElapsed is the virtual time of the compute portion (after the
+	// initial scatter, before the final gather).
+	ComputeElapsed time.Duration
+	// Usage is each slave's accounting over the whole run.
+	Usage []cluster.Usage
+	// Final holds the gathered arrays.
+	Final map[string]*loopir.Array
+	// Exec is the instantiated plan that was executed.
+	Exec *compile.Exec
+	// Grain is the strip-mining block size used.
+	Grain int
+	// Phases is the number of master interactions.
+	Phases int
+	// Moves counts issued work movements; UnitsMoved the total units.
+	Moves, UnitsMoved int
+	// Trace holds Figure 9 samples when CollectTrace is set.
+	Trace []Sample
+}
+
+// Run executes the plan on the given cluster configuration and returns the
+// result. It builds its own virtual-time kernel; the run is a deterministic
+// function of (cfg, cc).
+func Run(cfg Config, cc cluster.Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Plan == nil {
+		return nil, fmt.Errorf("dlb: no plan")
+	}
+	slaves := cc.Slaves
+	if slaves < 1 {
+		return nil, fmt.Errorf("dlb: need at least one slave")
+	}
+
+	// Master instance: initial data source and final destination.
+	masterInst, err := loopir.NewInstance(cfg.Plan.Prog, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+
+	// Instantiate once to estimate per-unit cost, derive the grain from
+	// the 1.5-quantum rule (§4.4), then re-instantiate so the phase
+	// schedule reflects the strip-mined structure.
+	probe, err := cfg.Plan.Instantiate(cfg.Params, 1, cfg.CompileOpts)
+	if err != nil {
+		return nil, err
+	}
+	grain := 1
+	if cfg.Plan.StripMined {
+		if cfg.ForcedGrain > 0 {
+			grain = cfg.ForcedGrain
+		} else {
+			ccd := cc
+			quantum := ccd.Quantum
+			if quantum <= 0 {
+				quantum = 100 * time.Millisecond
+			}
+			// Startup measurement: the cost of one strip-row is the work of
+			// one row of an even share of the active units.
+			lo, hi := probe.InitialActive()
+			perSlaveUnits := (hi - lo + slaves - 1) / slaves
+			rowFlops := probe.FlopsPerUnit * float64(perSlaveUnits)
+			rowCost := time.Duration(rowFlops * float64(cfg.FlopCost))
+			grain = core.GrainSize(rowCost, quantum, cfg.GrainFactor)
+		}
+	}
+	exec, err := cfg.Plan.Instantiate(cfg.Params, grain, cfg.CompileOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	k := vtime.NewKernel()
+	c := cluster.New(k, cc)
+
+	r := &Result{Exec: exec, Grain: grain}
+	m := &master{
+		cfg:    &cfg,
+		cc:     c.Config(),
+		slaves: slaves,
+		exec:   exec,
+		inst:   masterInst,
+		res:    r,
+		grain:  grain,
+	}
+	c.Spawn("master", cluster.MasterID, func(p *vtime.Proc, n *cluster.Node) {
+		m.runOn(&simEndpoint{p: p, n: n})
+	})
+	for i := 0; i < slaves; i++ {
+		s := &slave{
+			id:     i,
+			slaves: slaves,
+			cfg:    &cfg,
+			exec:   exec,
+			grain:  grain,
+		}
+		c.Spawn(fmt.Sprintf("slave%d", i), i, func(p *vtime.Proc, n *cluster.Node) {
+			s.runOn(&simEndpoint{p: p, n: n})
+		})
+	}
+	if err := k.Run(); err != nil {
+		return nil, fmt.Errorf("dlb: %w", err)
+	}
+	r.Elapsed = k.Now()
+	for i := 0; i < slaves; i++ {
+		n := c.Node(i)
+		n.FinishAt(k.Now())
+		r.Usage = append(r.Usage, n.Usage())
+	}
+	r.Final = m.final
+	r.ComputeElapsed = m.computeEnd - m.computeStart
+	return r, nil
+}
+
+// SequentialTime estimates the sequential execution time of the program on
+// a dedicated baseline workstation under the same calibration, and runs the
+// computation to produce reference arrays.
+func SequentialTime(plan *compile.Plan, params map[string]int, flopCost time.Duration) (time.Duration, map[string]*loopir.Array, error) {
+	if flopCost <= 0 {
+		flopCost = time.Microsecond
+	}
+	inst, err := loopir.NewInstance(plan.Prog, params)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := inst.Run(); err != nil {
+		return 0, nil, err
+	}
+	flops := loopir.EstFlops(plan.Prog.Body, params)
+	return time.Duration(flops * float64(flopCost)), inst.Arrays, nil
+}

@@ -1,0 +1,55 @@
+package dlb
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/vtime"
+)
+
+// Endpoint abstracts the environment a master or slave process runs in, so
+// the identical runtime code executes on the simulated virtual-time cluster
+// (the evaluation substrate) and in a real wall-clock environment
+// (goroutines + channels, one per core; see RunReal).
+type Endpoint interface {
+	// Charge accounts virtual CPU cost (computation, bookkeeping). On the
+	// simulated cluster it advances the virtual clock under the node's
+	// contention model; in the real environment it is a no-op — real work
+	// takes real time inside Timed.
+	Charge(cpu time.Duration)
+	// Timed runs fn and accounts its duration as busy time. On the
+	// simulated cluster the data computation is free (cost is modeled by
+	// Charge); in the real environment this is the actual measurement.
+	Timed(fn func())
+	// Send transmits a tagged message (non-blocking).
+	Send(to int, tag string, bytes int, data interface{})
+	// Recv blocks for a message matching source and tag (AnySource / ""
+	// wildcards); non-matching messages are buffered.
+	Recv(from int, tag string) cluster.Msg
+	// TryRecv is the non-blocking variant.
+	TryRecv(from int, tag string) (cluster.Msg, bool)
+	// Busy reports accumulated busy time (the basis of rate measurement).
+	Busy() time.Duration
+	// Now reports elapsed time since the run started.
+	Now() time.Duration
+}
+
+// simEndpoint adapts a virtual-time cluster node.
+type simEndpoint struct {
+	p *vtime.Proc
+	n *cluster.Node
+}
+
+func (e *simEndpoint) Charge(cpu time.Duration) { e.n.Compute(e.p, cpu) }
+func (e *simEndpoint) Timed(fn func())          { fn() }
+func (e *simEndpoint) Send(to int, tag string, bytes int, data interface{}) {
+	e.n.Send(e.p, to, tag, bytes, data)
+}
+func (e *simEndpoint) Recv(from int, tag string) cluster.Msg {
+	return e.n.RecvTag(e.p, from, tag)
+}
+func (e *simEndpoint) TryRecv(from int, tag string) (cluster.Msg, bool) {
+	return e.n.TryRecvTag(e.p, from, tag)
+}
+func (e *simEndpoint) Busy() time.Duration { return e.n.Usage().BusyElapsed }
+func (e *simEndpoint) Now() time.Duration  { return e.p.Now() }

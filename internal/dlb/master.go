@@ -1,0 +1,220 @@
+package dlb
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/loopir"
+)
+
+// master is the central load-balancing process (§3.1): it scatters the
+// initial distribution, mirrors the slave loop structure phase by phase,
+// runs the core balancing algorithm on the statuses it collects, sends
+// instructions, and gathers the final data.
+type master struct {
+	cfg    *Config
+	cc     cluster.Config
+	slaves int
+	exec   *compile.Exec
+	inst   *loopir.Instance
+	res    *Result
+	grain  int
+
+	final        map[string]*loopir.Array
+	computeStart time.Duration
+	computeEnd   time.Duration
+}
+
+func (m *master) runOn(ep Endpoint) {
+	plan := m.exec.Plan
+
+	// Authoritative ownership + balancer.
+	own := core.NewBlockOwnership(m.exec.Units, m.slaves)
+	lo, hi := m.exec.InitialActive()
+	for u := 0; u < own.Units(); u++ {
+		if u < lo || u >= hi {
+			own.Deactivate(u)
+		}
+	}
+	balCfg := core.DefaultConfig(m.slaves, plan.Restricted)
+	balCfg.MinImprovement = m.cfg.MinImprovement
+	balCfg.DisableFilter = m.cfg.DisableFilter
+	balCfg.DisableProfitability = m.cfg.DisableProfitability
+	balCfg.Quantum = m.cc.Quantum
+	// Prior movement-cost model from the network parameters: a unit slice
+	// of each distributed array plus fixed per-message overhead.
+	unitBytes := 0
+	for arr, dim := range plan.DistArrays {
+		a := m.inst.Arrays[arr]
+		unitBytes += 8 * unitSize(a, dim)
+	}
+	perUnit := time.Duration(float64(unitBytes) / m.cc.Bandwidth * float64(time.Second))
+	fixed := m.cc.LinkLatency + m.cc.SendOverhead
+	bal := core.NewBalancer(balCfg, own, core.NewMoveCostModel(fixed, perUnit))
+
+	// Initial scatter: each slave receives its owned slices of the
+	// distributed arrays and full copies of the replicated ones.
+	for sl := 0; sl < m.slaves; sl++ {
+		msg := InitMsg{Owned: map[string]map[int][]float64{}, Replicated: map[string][]float64{}}
+		bytes := msgHeader
+		for arr, dim := range plan.DistArrays {
+			a := m.inst.Arrays[arr]
+			units := map[int][]float64{}
+			for _, u := range own.Owned(sl) {
+				vals := unitSlice(a, dim, u)
+				units[u] = vals
+				bytes += 8*len(vals) + 16
+			}
+			msg.Owned[arr] = units
+		}
+		for _, arr := range plan.Replicated {
+			a := m.inst.Arrays[arr]
+			vals := append([]float64(nil), a.Data...)
+			msg.Replicated[arr] = vals
+			bytes += 8 * len(vals)
+		}
+		ep.Send(sl, "init", bytes, msg)
+	}
+	m.computeStart = ep.Now()
+
+	// Phase loop: one iteration per slave contact round. Slaves announce
+	// termination with a "done" message when their (possibly data-
+	// dependent, §4.1) control flow finishes; since every slave follows the
+	// identical schedule and break conditions evaluate identically, a round
+	// is either all statuses or all dones.
+	done := make([]bool, m.slaves)
+	doneCount := 0
+	for doneCount < m.slaves {
+		raw := make([]StatusMsg, m.slaves)
+		statusCount, newDone := 0, 0
+		for i := 0; i < m.slaves; i++ {
+			if done[i] {
+				continue
+			}
+			msg := ep.Recv(i, "")
+			st, ok := msg.Data.(StatusMsg)
+			if !ok {
+				panic(fmt.Sprintf("master: unexpected %q message from slave %d", msg.Tag, i))
+			}
+			switch msg.Tag {
+			case "done":
+				done[i] = true
+				doneCount++
+				newDone++
+			case "status":
+				raw[i] = st
+				statusCount++
+			default:
+				panic(fmt.Sprintf("master: unexpected tag %q from slave %d", msg.Tag, i))
+			}
+		}
+		if statusCount == 0 {
+			break
+		}
+		if newDone > 0 {
+			panic("master: slave schedules diverged (mixed status/done round)")
+		}
+		phase := raw[0].Phase
+		hookIdx := raw[0].HookIndex
+		for i, st := range raw {
+			if st.Phase != phase || st.HookIndex != hookIdx {
+				panic(fmt.Sprintf("master: slave %d at phase %d/hook %d, slave 0 at %d/%d",
+					i, st.Phase, st.HookIndex, phase, hookIdx))
+			}
+		}
+		m.res.Phases++
+
+		ep.Charge(m.cfg.MasterDecisionCost)
+
+		// Mirror the slave control flow: retire completed work (§4.7).
+		meta := m.exec.Phases[hookIdx]
+		for u := 0; u < own.Units(); u++ {
+			if (u < meta.ActiveLo || u >= meta.ActiveHi) && own.IsActive(u) {
+				own.Deactivate(u)
+			}
+		}
+
+		var d core.Decision
+		if m.cfg.DLB {
+			counts := own.ActiveCounts()
+			statuses := make([]core.Status, m.slaves)
+			var sumRate float64
+			var nRate int
+			for i, st := range raw {
+				rate := 0.0
+				if st.Busy > 0 && st.Units > 0 {
+					rate = st.Units / st.Busy.Seconds()
+					sumRate += rate
+					nRate++
+				}
+				statuses[i] = core.Status{Rate: rate, MoveCost: st.MoveCost, InteractionCost: st.InterCost}
+			}
+			// A slave with no work cannot measure its capability; assume
+			// the mean of the others so it can win work back.
+			if nRate > 0 {
+				mean := sumRate / float64(nRate)
+				for i := range statuses {
+					if statuses[i].Rate == 0 && counts[i] == 0 {
+						statuses[i].Rate = mean
+					}
+				}
+			}
+			unitsPerHook := float64(meta.UnitsBetween)
+			if next := hookIdx + 1; next < len(m.exec.Phases) {
+				unitsPerHook = float64(m.exec.Phases[next].UnitsBetween)
+			}
+			d = bal.Step(statuses, unitsPerHook)
+			m.res.Moves += len(d.Moves)
+			for _, mv := range d.Moves {
+				m.res.UnitsMoved += len(mv.Units)
+			}
+			if m.cfg.CollectTrace {
+				work := own.ActiveCounts()
+				for i := range statuses {
+					m.res.Trace = append(m.res.Trace, Sample{
+						Time:      ep.Now(),
+						Phase:     phase,
+						Slave:     i,
+						RawRate:   statuses[i].Rate,
+						Filtered:  d.FilteredRates[i],
+						Work:      work[i],
+						SkipHooks: d.SkipHooks,
+						Period:    d.Period,
+					})
+				}
+			}
+		}
+
+		instr := InstrMsg{Phase: phase, HookIndex: hookIdx, Moves: d.Moves, SkipHooks: d.SkipHooks}
+		bytes := 64
+		for _, mv := range d.Moves {
+			bytes += 16 + 8*len(mv.Units)
+		}
+		for sl := 0; sl < m.slaves; sl++ {
+			ep.Send(sl, "instr", bytes, instr)
+		}
+	}
+	m.computeEnd = ep.Now()
+
+	// Gather: assemble final arrays.
+	final := map[string]*loopir.Array{}
+	for arr, a := range m.inst.Arrays {
+		final[arr] = a.Clone()
+	}
+	for i := 0; i < m.slaves; i++ {
+		msg := ep.Recv(cluster.AnySource, "gather").Data.(GatherMsg)
+		for arr, units := range msg.Data {
+			dim := plan.DistArrays[arr]
+			for u, vals := range units {
+				setUnitSlice(final[arr], dim, u, vals)
+			}
+		}
+		for arr, vals := range msg.Reduced {
+			copy(final[arr].Data, vals)
+		}
+	}
+	m.final = final
+}

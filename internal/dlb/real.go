@@ -1,0 +1,276 @@
+package dlb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/loopir"
+)
+
+// RunReal executes the plan for real: master and slaves are goroutines
+// (one per core, scheduled by the Go runtime), messages travel over
+// channels, computation takes actual wall-clock time, and rates are
+// measured with real timers. It is the same master/slave code that runs on
+// the simulated cluster — only the Endpoint differs — so the simulation
+// results transfer: what was verified deterministically there runs here on
+// real parallel hardware.
+//
+// cfg.RealDrag can slow individual slaves (emulating a slower or loaded
+// workstation) so the load balancer's reaction is observable in wall-clock
+// runs. Timing-dependent behavior (how many phases, what moves) is
+// inherently nondeterministic here; data results are still exact.
+func RunReal(cfg Config, slaves int) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Plan == nil {
+		return nil, fmt.Errorf("dlb: no plan")
+	}
+	if slaves < 1 {
+		return nil, fmt.Errorf("dlb: need at least one slave")
+	}
+	masterInst, err := loopir.NewInstance(cfg.Plan.Prog, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+
+	probe, err := cfg.Plan.Instantiate(cfg.Params, 1, cfg.CompileOpts)
+	if err != nil {
+		return nil, err
+	}
+	grain := 1
+	if cfg.Plan.StripMined {
+		if cfg.ForcedGrain > 0 {
+			grain = cfg.ForcedGrain
+		} else {
+			// Startup measurement (§4.4), for real this time: time a few
+			// strip rows on a scratch instance and size blocks to
+			// GrainFactor x the real quantum.
+			rowCost, err := measureRealRow(cfg.Plan, cfg.Params, probe, slaves)
+			if err != nil {
+				return nil, err
+			}
+			q := cfg.RealQuantum
+			if q <= 0 {
+				q = 10 * time.Millisecond
+			}
+			grain = core.GrainSize(rowCost, q, cfg.GrainFactor)
+		}
+	}
+	exec, err := cfg.Plan.Instantiate(cfg.Params, grain, cfg.CompileOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	net := &realNet{
+		boxes: make([]chan cluster.Msg, slaves+1),
+		start: time.Now(),
+	}
+	for i := range net.boxes {
+		net.boxes[i] = make(chan cluster.Msg, 4096)
+	}
+
+	r := &Result{Exec: exec, Grain: grain}
+	m := &master{
+		cfg: &cfg,
+		cc: cluster.Config{
+			Slaves:       slaves,
+			Quantum:      cfg.RealQuantum,
+			Bandwidth:    1e9, // cost-model priors only; transfers are memory copies
+			LinkLatency:  10 * time.Microsecond,
+			SendOverhead: time.Microsecond,
+		},
+		slaves: slaves,
+		exec:   exec,
+		inst:   masterInst,
+		res:    r,
+		grain:  grain,
+	}
+
+	errs := make(chan error, slaves+1)
+	var wg sync.WaitGroup
+	spawn := func(name string, id int, fn func(Endpoint)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs <- fmt.Errorf("dlb: %s panicked: %v", name, p)
+					// Unblock peers waiting on this process so the run
+					// fails instead of hanging.
+					for _, box := range net.boxes {
+						select {
+						case box <- cluster.Msg{Tag: abortTag}:
+						default:
+						}
+					}
+				}
+			}()
+			drag := 1.0
+			if id >= 0 && id < len(cfg.RealDrag) && cfg.RealDrag[id] > 1 {
+				drag = cfg.RealDrag[id]
+			}
+			fn(&realEndpoint{net: net, id: id, drag: drag})
+		}()
+	}
+	endpoints := make([]*realEndpoint, slaves)
+	spawn("master", cluster.MasterID, m.runOn)
+	for i := 0; i < slaves; i++ {
+		s := &slave{id: i, slaves: slaves, cfg: &cfg, exec: exec, grain: grain}
+		i := i
+		spawn(fmt.Sprintf("slave%d", i), i, func(ep Endpoint) {
+			endpoints[i] = ep.(*realEndpoint)
+			s.runOn(ep)
+		})
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	r.Elapsed = time.Since(net.start)
+	for i := 0; i < slaves; i++ {
+		u := cluster.Usage{}
+		if endpoints[i] != nil {
+			u.BusyElapsed = endpoints[i].busy
+			u.AppCPU = endpoints[i].busy
+		}
+		r.Usage = append(r.Usage, u)
+	}
+	r.Final = m.final
+	r.ComputeElapsed = m.computeEnd - m.computeStart
+	return r, nil
+}
+
+// measureRealRow times one pipelined strip row of a single slave's share
+// by running the lowered sequential program once on a scratch instance and
+// scaling by the iteration counts.
+func measureRealRow(plan *compile.Plan, params map[string]int, probe *compile.Exec, slaves int) (time.Duration, error) {
+	scratch, err := loopir.NewInstance(plan.Prog, params)
+	if err != nil {
+		return 0, err
+	}
+	// The cost of one strip row ≈ per-unit flops x (active units / slaves),
+	// measured by running the whole-program lowered code for a bounded
+	// time and scaling. Simpler and robust: run one full lowered sweep of
+	// the program body once and divide by the total rows.
+	code, err := scratch.Lower()
+	if err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	code.Run()
+	total := time.Since(t0)
+	totalUnitExecs := probe.TotalFlops / probe.FlopsPerUnit
+	if totalUnitExecs < 1 {
+		totalUnitExecs = 1
+	}
+	perUnit := time.Duration(float64(total) / totalUnitExecs)
+	lo, hi := probe.InitialActive()
+	units := hi - lo
+	if units < 1 {
+		units = 1
+	}
+	row := perUnit * time.Duration((units+slaves-1)/slaves)
+	if row <= 0 {
+		row = time.Microsecond
+	}
+	return row, nil
+}
+
+// realNet carries messages between goroutine endpoints. Box index slaves is
+// the master.
+type realNet struct {
+	boxes []chan cluster.Msg
+	start time.Time
+}
+
+func (n *realNet) box(id int) chan cluster.Msg {
+	if id == cluster.MasterID {
+		return n.boxes[len(n.boxes)-1]
+	}
+	return n.boxes[id]
+}
+
+// realEndpoint implements Endpoint with wall-clock time and channels.
+type realEndpoint struct {
+	net     *realNet
+	id      int
+	drag    float64 // >= 1: slow this slave down (emulated slower machine)
+	pending []cluster.Msg
+	busy    time.Duration
+}
+
+func (e *realEndpoint) Charge(time.Duration) {}
+
+func (e *realEndpoint) Timed(fn func()) {
+	t0 := time.Now()
+	fn()
+	d := time.Since(t0)
+	if e.drag > 1 {
+		extra := time.Duration((e.drag - 1) * float64(d))
+		time.Sleep(extra)
+		d += extra
+	}
+	e.busy += d
+}
+
+func (e *realEndpoint) Send(to int, tag string, bytes int, data interface{}) {
+	e.net.box(to) <- cluster.Msg{From: e.id, Tag: tag, Bytes: bytes, Data: data}
+}
+
+func matchMsg(m cluster.Msg, from int, tag string) bool {
+	if from != cluster.AnySource && m.From != from {
+		return false
+	}
+	return tag == "" || m.Tag == tag
+}
+
+// abortTag is broadcast when a process dies so peers blocked in Recv fail
+// fast instead of deadlocking.
+const abortTag = "__abort"
+
+func (e *realEndpoint) Recv(from int, tag string) cluster.Msg {
+	for i, m := range e.pending {
+		if matchMsg(m, from, tag) {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			return m
+		}
+	}
+	for {
+		m := <-e.net.box(e.id)
+		if m.Tag == abortTag {
+			panic("peer process failed")
+		}
+		if matchMsg(m, from, tag) {
+			return m
+		}
+		e.pending = append(e.pending, m)
+	}
+}
+
+func (e *realEndpoint) TryRecv(from int, tag string) (cluster.Msg, bool) {
+	for i, m := range e.pending {
+		if matchMsg(m, from, tag) {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			return m, true
+		}
+	}
+	for {
+		select {
+		case m := <-e.net.box(e.id):
+			if matchMsg(m, from, tag) {
+				return m, true
+			}
+			e.pending = append(e.pending, m)
+		default:
+			return cluster.Msg{}, false
+		}
+	}
+}
+
+func (e *realEndpoint) Busy() time.Duration { return e.busy }
+func (e *realEndpoint) Now() time.Duration  { return time.Since(e.net.start) }

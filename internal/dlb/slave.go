@@ -1,0 +1,609 @@
+package dlb
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/loopir"
+)
+
+// rangeLo and rangeHi are the free variables of the lowered range fragment
+// that executes a contiguous run of owned distributed-loop iterations.
+const (
+	rangeLo = "__lo"
+	rangeHi = "__hi"
+)
+
+type slave struct {
+	id     int
+	slaves int
+	cfg    *Config
+	exec   *compile.Exec
+	grain  int
+
+	ep   Endpoint
+	inst *loopir.Instance
+	own  *core.Ownership
+
+	frags      map[*compile.OwnedLoop]*loopir.Fragment
+	ownerFrags map[*compile.OwnerBlock]*loopir.Fragment
+	allFrags   []allFrag
+	env        map[string]int
+	redSnap    map[string][]float64 // reduction arrays at the last Combine
+
+	ownedCache  []int // sorted owned units; nil means rebuild
+	hookVisit   int
+	nextContact int
+	phase       int
+	unitsDone   float64
+	busyMark    time.Duration
+	lastMove    time.Duration
+	lastInter   time.Duration
+	blockLo     int
+	blockHi     int
+}
+
+func (s *slave) runOn(ep Endpoint) {
+	s.ep = ep
+	plan := s.exec.Plan
+
+	// Local instance: full-size arrays, zeroed — only data delivered by the
+	// scatter, exchanges, broadcasts, and work movement is valid, so any
+	// read of non-owned data surfaces as corruption instead of silently
+	// using initial values.
+	inst, err := loopir.NewInstance(plan.Prog, s.exec.Params)
+	if err != nil {
+		panic(fmt.Sprintf("slave%d: %v", s.id, err))
+	}
+	for _, a := range inst.Arrays {
+		a.Fill(nil)
+	}
+	s.inst = inst
+
+	// Local ownership map — the paper's index array, kept in sync with the
+	// master by applying the same instructions.
+	s.own = core.NewBlockOwnership(s.exec.Units, s.slaves)
+	lo, hi := s.exec.InitialActive()
+	s.deactivateOutside(lo, hi)
+
+	// Lower the generated code against the local arrays: one range
+	// fragment per distributed loop, one fragment per owner block.
+	s.frags = map[*compile.OwnedLoop]*loopir.Fragment{}
+	s.ownerFrags = map[*compile.OwnerBlock]*loopir.Fragment{}
+	if err := s.lowerSteps(plan.Steps); err != nil {
+		panic(fmt.Sprintf("slave%d: %v", s.id, err))
+	}
+
+	// Initial scatter from the master.
+	init := s.ep.Recv(cluster.MasterID, "init").Data.(InitMsg)
+	for arr, units := range init.Owned {
+		dim := plan.DistArrays[arr]
+		for u, vals := range units {
+			setUnitSlice(s.inst.Arrays[arr], dim, u, vals)
+		}
+	}
+	for arr, vals := range init.Replicated {
+		copy(s.inst.Arrays[arr].Data, vals)
+	}
+	// Snapshot reduction arrays so Combine can merge per-slave deltas.
+	s.redSnap = map[string][]float64{}
+	for _, r := range plan.Reductions {
+		s.redSnap[r.Array] = append([]float64(nil), s.inst.Arrays[r.Array].Data...)
+	}
+
+	s.env = map[string]int{}
+	for k, v := range s.exec.Params {
+		s.env[k] = v
+	}
+	s.busyMark = s.ep.Busy()
+
+	s.execSteps(plan.Steps)
+
+	// Announce termination: with data-dependent break conditions the
+	// number of balancing phases is only known here, at run time (§4.1).
+	s.ep.Send(cluster.MasterID, "done", 64, StatusMsg{
+		Phase:     s.phase,
+		HookIndex: s.hookVisit,
+		Done:      true,
+	})
+
+	// Final gather: ship every owned unit of every distributed array back
+	// to the master; slave 0 also reports the combined reduction values.
+	g := GatherMsg{Data: map[string]map[int][]float64{}}
+	bytes := msgHeader
+	for arr, dim := range plan.DistArrays {
+		m := map[int][]float64{}
+		for _, u := range s.own.Owned(s.id) {
+			vals := unitSlice(s.inst.Arrays[arr], dim, u)
+			m[u] = vals
+			bytes += 8*len(vals) + 16
+		}
+		g.Data[arr] = m
+	}
+	if s.id == 0 && len(plan.Reductions) > 0 {
+		g.Reduced = map[string][]float64{}
+		for _, r := range plan.Reductions {
+			vals := append([]float64(nil), s.inst.Arrays[r.Array].Data...)
+			g.Reduced[r.Array] = vals
+			bytes += 8 * len(vals)
+		}
+	}
+	s.ep.Send(cluster.MasterID, "gather", bytes, g)
+}
+
+func (s *slave) eval(e loopir.IExpr) int {
+	v, err := loopir.EvalIndex(e, s.env)
+	if err != nil {
+		panic(fmt.Sprintf("slave%d: %v", s.id, err))
+	}
+	return v
+}
+
+// lowerSteps pre-lowers all compute fragments.
+func (s *slave) lowerSteps(steps []compile.Step) error {
+	for _, st := range steps {
+		switch st := st.(type) {
+		case *compile.SeqLoop:
+			if err := s.lowerSteps(st.Body); err != nil {
+				return err
+			}
+		case *compile.StripLoop:
+			if err := s.lowerSteps(st.Body); err != nil {
+				return err
+			}
+		case *compile.OwnedLoop:
+			wrapped := []loopir.Stmt{
+				loopir.For(st.Var, loopir.Iv(rangeLo), loopir.Iv(rangeHi), st.Body...),
+			}
+			frag, err := s.inst.LowerStmts(wrapped)
+			if err != nil {
+				return err
+			}
+			s.frags[st] = frag
+		case *compile.OwnerBlock:
+			frag, err := s.inst.LowerStmts(st.Body)
+			if err != nil {
+				return err
+			}
+			s.ownerFrags[st] = frag
+		case *compile.AllStmts:
+			frag, err := s.inst.LowerStmts(st.Body)
+			if err != nil {
+				return err
+			}
+			s.allFrags = append(s.allFrags, allFrag{st, frag})
+		}
+	}
+	return nil
+}
+
+type allFrag struct {
+	step *compile.AllStmts
+	frag *loopir.Fragment
+}
+
+func (s *slave) execSteps(steps []compile.Step) {
+	for _, st := range steps {
+		switch st := st.(type) {
+		case *compile.SeqLoop:
+			lo, hi := s.eval(st.Lo), s.eval(st.Hi)
+			for v := lo; v < hi; v++ {
+				s.env[st.Var] = v
+				s.execSteps(st.Body)
+				if st.BreakIf != nil && s.evalBreak(st.BreakIf) {
+					break
+				}
+			}
+			delete(s.env, st.Var)
+		case *compile.StripLoop:
+			lo, hi := s.eval(st.Lo), s.eval(st.Hi)
+			g := s.grain
+			if g < 1 {
+				g = 1
+			}
+			for start := lo; start < hi; start += g {
+				end := start + g
+				if end > hi {
+					end = hi
+				}
+				s.blockLo, s.blockHi = start, end
+				s.execSteps(st.Pre)
+				for v := start; v < end; v++ {
+					s.env[st.Var] = v
+					s.execSteps(st.Body)
+				}
+				delete(s.env, st.Var)
+				s.blockLo, s.blockHi = start, end
+				s.execSteps(st.Post)
+			}
+		case *compile.OwnedLoop:
+			s.execOwned(st)
+		case *compile.OwnerBlock:
+			s.execOwnerBlock(st)
+		case *compile.AllStmts:
+			s.execAll(st)
+		case *compile.Exchange:
+			s.execExchange(st)
+		case *compile.PipeRecv:
+			s.execPipeRecv(st)
+		case *compile.PipeSend:
+			s.execPipeSend(st)
+		case *compile.Bcast:
+			s.execBcast(st)
+		case *compile.Combine:
+			s.execCombine(st)
+		case *compile.Hook:
+			s.execHook(st)
+		}
+	}
+}
+
+// evalBreak evaluates a data-dependent loop termination condition against
+// local (replicated, post-Combine) data — identical on every slave.
+func (s *slave) evalBreak(c *loopir.Cond) bool {
+	l, err1 := s.inst.EvalExpr(c.L, s.env)
+	r, err2 := s.inst.EvalExpr(c.R, s.env)
+	if err1 != nil || err2 != nil {
+		panic(fmt.Sprintf("slave%d: break condition: %v %v", s.id, err1, err2))
+	}
+	switch c.Op {
+	case "<":
+		return l < r
+	case "<=":
+		return l <= r
+	case ">":
+		return l > r
+	case ">=":
+		return l >= r
+	case "==":
+		return l == r
+	case "!=":
+		return l != r
+	}
+	panic(fmt.Sprintf("slave%d: bad break op %q", s.id, c.Op))
+}
+
+// execCombine all-reduces a reduction array: deltas since the last Combine
+// are exchanged all-to-all and summed in slave order, so every slave ends
+// with bit-identical values.
+func (s *slave) execCombine(st *compile.Combine) {
+	arr := s.inst.Arrays[st.Array]
+	snap := s.redSnap[st.Array]
+	n := len(arr.Data)
+	delta := make([]float64, n)
+	for i := range delta {
+		delta[i] = arr.Data[i] - snap[i]
+	}
+	tag := "reduce:" + st.Array
+	for o := 0; o < s.slaves; o++ {
+		if o == s.id {
+			continue
+		}
+		s.ep.Send(o, tag, floatsBytes(n), append([]float64(nil), delta...))
+	}
+	parts := make([][]float64, s.slaves)
+	parts[s.id] = delta
+	for o := 0; o < s.slaves; o++ {
+		if o == s.id {
+			continue
+		}
+		parts[o] = s.ep.Recv(o, tag).Data.([]float64)
+	}
+	for i := 0; i < n; i++ {
+		v := snap[i]
+		for o := 0; o < s.slaves; o++ {
+			v += parts[o][i]
+		}
+		arr.Data[i] = v
+		snap[i] = v
+	}
+}
+
+func (s *slave) owned() []int {
+	if s.ownedCache == nil {
+		s.ownedCache = s.own.Owned(s.id)
+	}
+	return s.ownedCache
+}
+
+func (s *slave) invalidateOwned() { s.ownedCache = nil }
+
+func (s *slave) perUnitFlops(body []loopir.Stmt, distVar string, mid int) float64 {
+	local := map[string]int{}
+	for k, v := range s.env {
+		local[k] = v
+	}
+	local[distVar] = mid
+	return loopir.EstFlops(body, local)
+}
+
+func (s *slave) execOwned(st *compile.OwnedLoop) {
+	lo, hi := s.eval(st.Lo), s.eval(st.Hi)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.exec.Units {
+		hi = s.exec.Units
+	}
+	if hi <= lo {
+		return
+	}
+	runs := contiguousRuns(s.owned(), lo, hi)
+	count := 0
+	for _, r := range runs {
+		count += r[1] - r[0]
+	}
+	if count == 0 {
+		return
+	}
+	flops := s.perUnitFlops(st.Body, st.Var, lo+(hi-lo)/2) * float64(count)
+	s.ep.Charge(time.Duration(flops * float64(s.cfg.FlopCost)))
+
+	frag := s.frags[st]
+	bind := map[string]int{}
+	for k, v := range s.env {
+		bind[k] = v
+	}
+	s.ep.Timed(func() {
+		for _, r := range runs {
+			bind[rangeLo], bind[rangeHi] = r[0], r[1]
+			frag.Run(bind)
+		}
+	})
+	s.unitsDone += float64(count)
+}
+
+func (s *slave) execOwnerBlock(st *compile.OwnerBlock) {
+	idx := s.eval(st.Index)
+	if idx < 0 || idx >= s.exec.Units || s.own.OwnerOf(idx) != s.id {
+		return
+	}
+	flops := loopir.EstFlops(st.Body, s.env)
+	s.ep.Charge(time.Duration(flops * float64(s.cfg.FlopCost)))
+	s.ep.Timed(func() { s.ownerFrags[st].Run(s.env) })
+}
+
+func (s *slave) execAll(st *compile.AllStmts) {
+	for _, af := range s.allFrags {
+		if af.step == st {
+			flops := loopir.EstFlops(st.Body, s.env)
+			s.ep.Charge(time.Duration(flops * float64(s.cfg.FlopCost)))
+			s.ep.Timed(func() { af.frag.Run(s.env) })
+			// Replicated statements run identically on every slave, so
+			// their result is shared state: refresh reduction snapshots so
+			// the next Combine's deltas are measured from here (e.g. the
+			// residual reset at the top of a convergence sweep).
+			for arr, snap := range s.redSnap {
+				copy(snap, s.inst.Arrays[arr].Data)
+			}
+			return
+		}
+	}
+}
+
+// execExchange performs the sweep-start ghost exchange: whole-unit
+// transfers of old boundary values (paper Figure 3a's first send/receive).
+func (s *slave) execExchange(st *compile.Exchange) {
+	arr := s.inst.Arrays[st.Array]
+	dim := s.exec.Plan.DistArrays[st.Array]
+	tag := "ghost:" + st.Array
+	for _, sp := range ghostSupplies(s.own, s.id, st.Delta) {
+		vals := unitSlice(arr, dim, sp.Unit)
+		s.ep.Send(sp.To, tag, floatsBytes(len(vals)), SliceMsg{Unit: sp.Unit, RowLo: -1, RowHi: -1, Vals: vals})
+	}
+	for _, g := range ghostNeeds(s.own, s.id, st.Delta) {
+		m := s.ep.Recv(s.own.OwnerOf(g), tag).Data.(SliceMsg)
+		if m.Unit != g {
+			panic(fmt.Sprintf("slave%d: ghost mismatch: got unit %d, want %d", s.id, m.Unit, g))
+		}
+		setUnitSlice(arr, dim, g, m.Vals)
+	}
+}
+
+// execPipeRecv receives the current strip block's rows of the pipeline
+// ghost unit — values the neighbor computed earlier in this sweep.
+func (s *slave) execPipeRecv(st *compile.PipeRecv) {
+	arr := s.inst.Arrays[st.Array]
+	dim := s.exec.Plan.DistArrays[st.Array]
+	tag := "pipe:" + st.Array
+	for _, g := range ghostNeeds(s.own, s.id, st.Delta) {
+		m := s.ep.Recv(s.own.OwnerOf(g), tag).Data.(SliceMsg)
+		if m.Unit != g || m.RowLo != s.blockLo {
+			panic(fmt.Sprintf("slave%d: pipe mismatch: got unit %d rows [%d,%d), want unit %d rows [%d,%d)",
+				s.id, m.Unit, m.RowLo, m.RowHi, g, s.blockLo, s.blockHi))
+		}
+		setUnitSliceRows(arr, dim, g, st.RowDim, m.RowLo, m.RowHi, m.Vals)
+	}
+}
+
+// execPipeSend sends the current strip block's rows of our boundary units
+// to the neighbors that read them next.
+func (s *slave) execPipeSend(st *compile.PipeSend) {
+	arr := s.inst.Arrays[st.Array]
+	dim := s.exec.Plan.DistArrays[st.Array]
+	tag := "pipe:" + st.Array
+	for _, sp := range ghostSupplies(s.own, s.id, -st.Delta) {
+		vals := unitSliceRows(arr, dim, sp.Unit, st.RowDim, s.blockLo, s.blockHi)
+		s.ep.Send(sp.To, tag, floatsBytes(len(vals)),
+			SliceMsg{Unit: sp.Unit, RowLo: s.blockLo, RowHi: s.blockHi, Vals: vals})
+	}
+}
+
+// execBcast broadcasts one unit from its owner to everyone else (§4.6).
+func (s *slave) execBcast(st *compile.Bcast) {
+	idx := s.eval(st.Index)
+	if idx < 0 || idx >= s.exec.Units {
+		return
+	}
+	arr := s.inst.Arrays[st.Array]
+	dim := s.exec.Plan.DistArrays[st.Array]
+	tag := "bcast:" + st.Array
+	owner := s.own.OwnerOf(idx)
+	if owner == s.id {
+		vals := unitSlice(arr, dim, idx)
+		for other := 0; other < s.own.Slaves(); other++ {
+			if other == s.id {
+				continue
+			}
+			s.ep.Send(other, tag, floatsBytes(len(vals)),
+				SliceMsg{Unit: idx, RowLo: -1, RowHi: -1, Vals: append([]float64(nil), vals...)})
+		}
+		return
+	}
+	m := s.ep.Recv(owner, tag).Data.(SliceMsg)
+	if m.Unit != idx {
+		panic(fmt.Sprintf("slave%d: bcast mismatch: got unit %d, want %d", s.id, m.Unit, idx))
+	}
+	setUnitSlice(arr, dim, idx, m.Vals)
+}
+
+func (s *slave) deactivateOutside(lo, hi int) {
+	for u := 0; u < s.own.Units(); u++ {
+		if (u < lo || u >= hi) && s.own.IsActive(u) {
+			s.own.Deactivate(u)
+		}
+	}
+	s.invalidateOwned()
+}
+
+// execHook implements the load-balancing hook (§4.2/§4.3): skip counting,
+// status reporting, instruction receipt, and work movement.
+func (s *slave) execHook(st *compile.Hook) {
+	if st.Level != s.exec.ActiveLevel {
+		return
+	}
+	hv := s.hookVisit
+	s.hookVisit++
+	if !s.cfg.DLB || hv != s.nextContact {
+		s.ep.Charge(s.cfg.HookCheckCost)
+		return
+	}
+
+	busyStart := s.ep.Busy()
+	status := StatusMsg{
+		Phase:     s.phase,
+		HookIndex: hv,
+		Units:     s.unitsDone,
+		Busy:      busyStart - s.busyMark,
+		MoveCost:  s.lastMove,
+		InterCost: s.lastInter,
+	}
+	s.ep.Send(cluster.MasterID, "status", 64, status)
+	s.unitsDone = 0
+
+	wantInstr := true
+	if !s.cfg.Synchronous && s.phase == 0 {
+		wantInstr = false // pipelined: nothing in flight yet
+	}
+	if wantInstr {
+		// The interaction cost fed to the period rule (20x bound) is the
+		// CPU overhead of the exchange, not time spent blocked waiting for
+		// the instruction (pipelining exists precisely to hide that wait).
+		s.lastInter = s.ep.Busy() - busyStart
+		instr := s.ep.Recv(cluster.MasterID, "instr").Data.(InstrMsg)
+		s.applyInstr(instr)
+	} else {
+		s.lastInter = s.ep.Busy() - busyStart
+		// No instruction consumed (first pipelined contact): keep
+		// contacting every hook until the master assigns a skip.
+		s.nextContact = s.hookVisit
+	}
+	s.phase++
+	s.busyMark = s.ep.Busy()
+}
+
+// applyInstr updates the active set, executes the work movement this slave
+// participates in, and adopts the new hook-skip count.
+func (s *slave) applyInstr(instr InstrMsg) {
+	meta := s.exec.Phases[instr.HookIndex]
+	s.deactivateOutside(meta.ActiveLo, meta.ActiveHi)
+
+	if len(instr.Moves) > 0 {
+		t0 := s.ep.Now()
+		for _, m := range instr.Moves {
+			s.applyMove(m)
+		}
+		s.invalidateOwned()
+		s.lastMove = s.ep.Now() - t0
+	}
+	s.nextContact = s.hookVisit + instr.SkipHooks
+	if s.nextContact < s.hookVisit {
+		s.nextContact = s.hookVisit
+	}
+}
+
+func (s *slave) applyMove(m core.Move) {
+	plan := s.exec.Plan
+	switch {
+	case m.From == s.id:
+		moved := map[int]bool{}
+		for _, u := range m.Units {
+			moved[u] = true
+		}
+		w := WorkMsg{Units: m.Units, Data: map[string][][]float64{}, Ghosts: map[string]map[int][]float64{}}
+		bytes := msgHeader
+		for arr, dim := range plan.DistArrays {
+			a := s.inst.Arrays[arr]
+			slices := make([][]float64, len(m.Units))
+			for i, u := range m.Units {
+				slices[i] = unitSlice(a, dim, u)
+				bytes += 8 * len(slices[i])
+			}
+			w.Data[arr] = slices
+			// Ghost payload: data adjacent to the moved range so the new
+			// owner's stale copies are refreshed (§4.5).
+			if len(plan.GhostDeltas) > 0 {
+				gm := map[int][]float64{}
+				for _, delta := range plan.GhostDeltas {
+					for _, u := range m.Units {
+						g := u + delta
+						if g < 0 || g >= s.exec.Units || moved[g] {
+							continue
+						}
+						if _, dup := gm[g]; dup {
+							continue
+						}
+						gm[g] = unitSlice(a, dim, g)
+						bytes += 8 * len(gm[g])
+					}
+				}
+				w.Ghosts[arr] = gm
+			}
+		}
+		s.ep.Send(m.To, "work", bytes, w)
+		if err := s.own.Apply(m); err != nil {
+			panic(fmt.Sprintf("slave%d: %v", s.id, err))
+		}
+	case m.To == s.id:
+		msg := s.ep.Recv(m.From, "work").Data.(WorkMsg)
+		for arr, slices := range msg.Data {
+			dim := plan.DistArrays[arr]
+			a := s.inst.Arrays[arr]
+			for i, u := range msg.Units {
+				setUnitSlice(a, dim, u, slices[i])
+			}
+		}
+		for arr, gm := range msg.Ghosts {
+			dim := plan.DistArrays[arr]
+			a := s.inst.Arrays[arr]
+			for g, vals := range gm {
+				// Only refresh units we do not hold authoritative data
+				// for: the sender's ghost copy is stale for units we own.
+				if s.own.OwnerOf(g) == s.id {
+					continue
+				}
+				setUnitSlice(a, dim, g, vals)
+			}
+		}
+		if err := s.own.Apply(m); err != nil {
+			panic(fmt.Sprintf("slave%d: %v", s.id, err))
+		}
+	default:
+		if err := s.own.Apply(m); err != nil {
+			panic(fmt.Sprintf("slave%d: %v", s.id, err))
+		}
+	}
+}

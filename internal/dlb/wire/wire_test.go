@@ -1,0 +1,197 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dlb"
+)
+
+func TestRoundTripInMemory(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	msgs := []Envelope{
+		{Tag: "status", From: 2, Payload: dlb.StatusMsg{
+			Phase: 3, HookIndex: 7, Units: 128, Busy: 250 * time.Millisecond,
+			MoveCost: time.Millisecond, InterCost: 200 * time.Microsecond,
+		}},
+		{Tag: "instr", From: -1, Payload: dlb.InstrMsg{
+			Phase: 3, HookIndex: 7, SkipHooks: 2,
+			Moves: []core.Move{{From: 0, To: 1, Units: []int{4, 5, 6}}},
+		}},
+		{Tag: "work", From: 0, Payload: dlb.WorkMsg{
+			Units: []int{4, 5},
+			Data:  map[string][][]float64{"b": {{1, 2}, {3, 4}}},
+			Ghosts: map[string]map[int][]float64{
+				"b": {6: {9, 9}},
+			},
+		}},
+		{Tag: "pipe:b", From: 1, Payload: dlb.SliceMsg{Unit: 3, RowLo: 5, RowHi: 10, Vals: []float64{1.5, 2.5}}},
+		{Tag: "gather", From: 2, Payload: dlb.GatherMsg{Data: map[string]map[int][]float64{"c": {0: {7}}}}},
+	}
+	for _, m := range msgs {
+		if err := c.Send(m); err != nil {
+			t.Fatalf("send %s: %v", m.Tag, err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %s: %v", want.Tag, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip mismatch:\n got  %#v\n want %#v", got, want)
+		}
+	}
+}
+
+// TestTCPStatusInstructionExchange runs one pipelined balancing phase over
+// real TCP loopback: a master accepts N slaves, collects their statuses,
+// and answers with an instruction carrying moves — the same message flow
+// the simulated runtime uses.
+func TestTCPStatusInstructionExchange(t *testing.T) {
+	const slaves = 4
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	instr := dlb.InstrMsg{
+		Phase:     0,
+		SkipHooks: 3,
+		Moves:     []core.Move{{From: 0, To: 1, Units: []int{9}}},
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	masterErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		conns := make([]*Conn, slaves)
+		for i := 0; i < slaves; i++ {
+			c, err := l.Accept()
+			if err != nil {
+				masterErr <- err
+				return
+			}
+			conns[i] = c
+		}
+		seen := map[int]bool{}
+		byFrom := map[int]*Conn{}
+		for _, c := range conns {
+			e, err := c.Recv()
+			if err != nil {
+				masterErr <- err
+				return
+			}
+			st, ok := e.Payload.(dlb.StatusMsg)
+			if !ok || e.Tag != "status" {
+				masterErr <- fmt.Errorf("unexpected message %q %T", e.Tag, e.Payload)
+				return
+			}
+			if st.Units != float64(100+e.From) {
+				masterErr <- fmt.Errorf("slave %d reported %v units", e.From, st.Units)
+				return
+			}
+			seen[e.From] = true
+			byFrom[e.From] = c
+		}
+		if len(seen) != slaves {
+			masterErr <- fmt.Errorf("saw %d distinct slaves", len(seen))
+			return
+		}
+		for i := 0; i < slaves; i++ {
+			if err := byFrom[i].Send(Envelope{Tag: "instr", From: -1, Payload: instr}); err != nil {
+				masterErr <- err
+				return
+			}
+		}
+		masterErr <- nil
+	}()
+
+	results := make(chan error, slaves)
+	for i := 0; i < slaves; i++ {
+		go func(id int) {
+			c, err := Dial(l.Addr())
+			if err != nil {
+				results <- err
+				return
+			}
+			err = c.Send(Envelope{Tag: "status", From: id, Payload: dlb.StatusMsg{
+				Phase: 0, Units: float64(100 + id), Busy: time.Second,
+			}})
+			if err != nil {
+				results <- err
+				return
+			}
+			e, err := c.Recv()
+			if err != nil {
+				results <- err
+				return
+			}
+			got, ok := e.Payload.(dlb.InstrMsg)
+			if !ok {
+				results <- fmt.Errorf("slave %d: payload %T", id, e.Payload)
+				return
+			}
+			if !reflect.DeepEqual(got, instr) {
+				results <- fmt.Errorf("slave %d: instruction mismatch: %#v", id, got)
+				return
+			}
+			results <- nil
+		}(i)
+	}
+	for i := 0; i < slaves; i++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if err := <-masterErr; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeWorkMessage(t *testing.T) {
+	// A realistic work-movement payload (64 columns of a 2000-row array
+	// across two arrays) survives framing.
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	w := dlb.WorkMsg{Data: map[string][][]float64{}}
+	for _, arr := range []string{"b", "c"} {
+		var slices [][]float64
+		for u := 0; u < 64; u++ {
+			col := make([]float64, 2000)
+			for i := range col {
+				col[i] = float64(u*2000 + i)
+			}
+			slices = append(slices, col)
+			w.Units = append(w.Units, u)
+		}
+		w.Data[arr] = slices
+	}
+	if err := c.Send(Envelope{Tag: "work", From: 0, Payload: w}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := got.Payload.(dlb.WorkMsg)
+	if len(gw.Data["b"]) != 64 || gw.Data["c"][63][1999] != float64(63*2000+1999) {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestFrameLimit(t *testing.T) {
+	f := &framed{rw: &bytes.Buffer{}}
+	if _, err := f.Write(make([]byte, maxFrame+1)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}

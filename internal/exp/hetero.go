@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dlb"
+	"repro/internal/metrics"
+)
+
+// HeteroRow is one configuration of the heterogeneous-environment
+// experiment.
+type HeteroRow struct {
+	Speeds     []float64
+	TimePar    time.Duration
+	TimeDLB    time.Duration
+	SpeedupPar float64
+	SpeedupDLB float64
+	// Ideal is the best possible speedup: the sum of relative speeds.
+	Ideal float64
+}
+
+// Heterogeneous measures the claim from the paper's conclusions that "the
+// load balancer can rapidly adjust the work distribution in a heterogeneous
+// environment": MM on mixed-speed workstations, static vs. DLB. The
+// balancer needs no per-machine weights — measured work units per second
+// capture heterogeneity directly (§3.2).
+func Heterogeneous(s Scale) ([]HeteroRow, error) {
+	app, err := MMApp(s)
+	if err != nil {
+		return nil, err
+	}
+	configs := [][]float64{
+		{1, 1, 1, 1},       // homogeneous control
+		{2, 1, 1, 0.5},     // mixed lab
+		{4, 1, 1, 1},       // one fast server
+		{1, 1, 0.25, 0.25}, // two old desktops
+	}
+	var rows []HeteroRow
+	for _, speeds := range configs {
+		cc := cluster.Config{Slaves: len(speeds), Speed: speeds}
+		static, err := dlb.Run(dlb.Config{
+			Plan: app.Plan, Params: app.Params, DLB: false, FlopCost: app.FlopCost,
+		}, cc)
+		if err != nil {
+			return nil, err
+		}
+		dyn, err := dlb.Run(dlb.Config{
+			Plan: app.Plan, Params: app.Params, DLB: true, FlopCost: app.FlopCost,
+		}, cc)
+		if err != nil {
+			return nil, err
+		}
+		ideal := 0.0
+		for _, sp := range speeds {
+			ideal += sp
+		}
+		rows = append(rows, HeteroRow{
+			Speeds:     speeds,
+			TimePar:    static.Elapsed,
+			TimeDLB:    dyn.Elapsed,
+			SpeedupPar: metrics.Speedup(app.SeqTime, static.Elapsed),
+			SpeedupDLB: metrics.Speedup(app.SeqTime, dyn.Elapsed),
+			Ideal:      ideal,
+		})
+	}
+	return rows, nil
+}
+
+// RenderHeterogeneous formats the experiment.
+func RenderHeterogeneous(rows []HeteroRow) string {
+	t := &metrics.Table{
+		Title:   "Heterogeneous environment (paper conclusions) — MM, 4 workstations",
+		Headers: []string{"speeds", "t_static", "t_dlb", "speedup_static", "speedup_dlb", "ideal"},
+	}
+	for _, r := range rows {
+		t.AddRowf(speedsLabel(r.Speeds), r.TimePar, r.TimeDLB, r.SpeedupPar, r.SpeedupDLB, r.Ideal)
+	}
+	return t.String()
+}
+
+func speedsLabel(speeds []float64) string {
+	out := ""
+	for i, s := range speeds {
+		if i > 0 {
+			out += "/"
+		}
+		if s == float64(int(s)) {
+			out += string(rune('0' + int(s)))
+		} else {
+			out += "½"
+			if s == 0.25 {
+				out = out[:len(out)-len("½")] + "¼"
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+// Package lang is the textual front end for the loop-nest language: a
+// lexer, a recursive-descent parser producing loopir programs, and a
+// canonical formatter. It stands in for the Fortran front end of the
+// paper's compiler — programs can be written as source text and fed
+// straight to internal/compile:
+//
+//	program sor(n, maxiter)
+//	array b[n][n] init hash(3);
+//	for iter = 0 to maxiter {
+//	    for i = 1 to n-1 {
+//	        for j = 1 to n-1 {
+//	            b[j][i] = 0.493*(b[j][i-1] + b[j-1][i] + b[j][i+1] + b[j+1][i])
+//	                      - 0.972*b[j][i];
+//	        }
+//	    }
+//	}
+//
+// Loops run from the lower bound inclusive to the upper bound exclusive.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokPunct // single characters and two-char relops
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// Error is a parse error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	line   int
+	col    int
+	tokens []token
+}
+
+var twoCharOps = []string{"<=", ">=", "==", "!="}
+
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src, line: 1, col: 1}
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.advance(1)
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.advance(1)
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.advance(1)
+			}
+		case isIdentStart(rune(c)):
+			start := lx.pos
+			line, col := lx.line, lx.col
+			for lx.pos < len(lx.src) && isIdentPart(rune(lx.src[lx.pos])) {
+				lx.advance(1)
+			}
+			lx.tokens = append(lx.tokens, token{tokIdent, lx.src[start:lx.pos], line, col})
+		case c >= '0' && c <= '9' || c == '.' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9':
+			start := lx.pos
+			line, col := lx.line, lx.col
+			isFloat := false
+			for lx.pos < len(lx.src) {
+				ch := lx.src[lx.pos]
+				if ch >= '0' && ch <= '9' {
+					lx.advance(1)
+					continue
+				}
+				if ch == '.' && !isFloat {
+					isFloat = true
+					lx.advance(1)
+					continue
+				}
+				if (ch == 'e' || ch == 'E') && lx.pos+1 < len(lx.src) {
+					next := lx.src[lx.pos+1]
+					if next >= '0' && next <= '9' || next == '-' || next == '+' {
+						isFloat = true
+						lx.advance(2)
+						continue
+					}
+				}
+				break
+			}
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			lx.tokens = append(lx.tokens, token{kind, lx.src[start:lx.pos], line, col})
+		default:
+			line, col := lx.line, lx.col
+			matched := false
+			for _, op := range twoCharOps {
+				if strings.HasPrefix(lx.src[lx.pos:], op) {
+					lx.tokens = append(lx.tokens, token{tokPunct, op, line, col})
+					lx.advance(2)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			switch c {
+			case '(', ')', '[', ']', '{', '}', ',', ';', '=', '+', '-', '*', '/', '<', '>':
+				lx.tokens = append(lx.tokens, token{tokPunct, string(c), line, col})
+				lx.advance(1)
+			default:
+				return nil, &Error{line, col, fmt.Sprintf("unexpected character %q", string(c))}
+			}
+		}
+	}
+	lx.tokens = append(lx.tokens, token{tokEOF, "", lx.line, lx.col})
+	return lx.tokens, nil
+}
+
+func (lx *lexer) advance(n int) {
+	for i := 0; i < n && lx.pos < len(lx.src); i++ {
+		if lx.src[lx.pos] == '\n' {
+			lx.line++
+			lx.col = 1
+		} else {
+			lx.col++
+		}
+		lx.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,121 @@
+package loopir
+
+// This file provides the static cost model the compiler uses for hook
+// placement (paper §4.2: place the hook at the deepest level where its cost
+// is a negligible fraction of the enclosed work) and for grain-size and
+// calibration decisions.
+
+// OpCount returns the number of floating-point operations performed by one
+// execution of the statement list, ignoring loop trip counts (loops count
+// as a single execution of their body) and taking the maximum over If arms.
+func OpCount(stmts []Stmt) int {
+	n := 0
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Loop:
+			n += OpCount(s.Body)
+		case *Assign:
+			n += exprOps(s.RHS) + 1 // +1 for the store
+		case *If:
+			n += exprOps(s.Cond.L) + exprOps(s.Cond.R) + 1
+			t, e := OpCount(s.Then), OpCount(s.Else)
+			if t > e {
+				n += t
+			} else {
+				n += e
+			}
+		}
+	}
+	return n
+}
+
+func exprOps(e Expr) int {
+	switch e := e.(type) {
+	case Bin:
+		return 1 + exprOps(e.L) + exprOps(e.R)
+	default:
+		return 0
+	}
+}
+
+// EstFlops estimates the total floating-point operations of a statement
+// list under the given environment. Loop trip counts are evaluated with
+// enclosing loop variables bound to the midpoint of their ranges, which
+// handles triangular nests like LU (where inner bounds depend on outer
+// indices) with O(depth) work. If arms are averaged.
+func EstFlops(stmts []Stmt, env map[string]int) float64 {
+	local := map[string]int{}
+	for k, v := range env {
+		local[k] = v
+	}
+	return estFlops(stmts, local)
+}
+
+func estFlops(stmts []Stmt, env map[string]int) float64 {
+	total := 0.0
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Loop:
+			lo, err1 := EvalIndex(s.Lo, env)
+			hi, err2 := EvalIndex(s.Hi, env)
+			if err1 != nil || err2 != nil {
+				continue // unbound variable: treat as zero-cost, caller beware
+			}
+			trip := hi - lo
+			if trip <= 0 {
+				continue
+			}
+			env[s.Var] = lo + trip/2
+			total += float64(trip) * estFlops(s.Body, env)
+			delete(env, s.Var)
+		case *Assign:
+			total += float64(exprOps(s.RHS) + 1)
+		case *If:
+			total += float64(exprOps(s.Cond.L)+exprOps(s.Cond.R)) + 1
+			total += 0.5 * (estFlops(s.Then, env) + estFlops(s.Else, env))
+		}
+	}
+	return total
+}
+
+// ExactFlops counts the floating-point operations of a statement list by
+// walking the full iteration space (without touching data, so If arms are
+// maximized). Exponential in nothing, but linear in total iterations — use
+// for small instances and tests.
+func ExactFlops(stmts []Stmt, env map[string]int) int64 {
+	local := map[string]int{}
+	for k, v := range env {
+		local[k] = v
+	}
+	return exactFlops(stmts, local)
+}
+
+func exactFlops(stmts []Stmt, env map[string]int) int64 {
+	var total int64
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Loop:
+			lo, err1 := EvalIndex(s.Lo, env)
+			hi, err2 := EvalIndex(s.Hi, env)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			for v := lo; v < hi; v++ {
+				env[s.Var] = v
+				total += exactFlops(s.Body, env)
+			}
+			delete(env, s.Var)
+		case *Assign:
+			total += int64(exprOps(s.RHS) + 1)
+		case *If:
+			total += int64(exprOps(s.Cond.L) + exprOps(s.Cond.R) + 1)
+			t, e := exactFlops(s.Then, env), exactFlops(s.Else, env)
+			if t > e {
+				total += t
+			} else {
+				total += e
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,58 @@
+package loopir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render pretty-prints a program in a C-like syntax, matching the style of
+// the paper's Figure 3 listings.
+func Render(p *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "/* %s(%s) */\n", p.Name, strings.Join(p.Params, ", "))
+	for _, a := range p.Arrays {
+		sb.WriteString("double " + a.Name)
+		for _, d := range a.Dims {
+			fmt.Fprintf(&sb, "[%s]", d.String())
+		}
+		sb.WriteString(";\n")
+	}
+	RenderStmts(&sb, p.Body, 0)
+	return sb.String()
+}
+
+// RenderStmts writes statements at the given indent depth.
+func RenderStmts(sb *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("    ", depth)
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Loop:
+			fmt.Fprintf(sb, "%sfor (%s = %s; %s < %s; %s++) {\n",
+				ind, s.Var, s.Lo.String(), s.Var, s.Hi.String(), s.Var)
+			RenderStmts(sb, s.Body, depth+1)
+			if s.BreakIf != nil {
+				fmt.Fprintf(sb, "%s    if (%s %s %s) break;\n",
+					ind, renderExpr(s.BreakIf.L), s.BreakIf.Op, renderExpr(s.BreakIf.R))
+			}
+			sb.WriteString(ind + "}\n")
+		case *Assign:
+			fmt.Fprintf(sb, "%s%s = %s;\n", ind, s.LHS.String(), renderExpr(s.RHS))
+		case *If:
+			fmt.Fprintf(sb, "%sif (%s %s %s) {\n", ind, renderExpr(s.Cond.L), s.Cond.Op, renderExpr(s.Cond.R))
+			RenderStmts(sb, s.Then, depth+1)
+			if len(s.Else) > 0 {
+				sb.WriteString(ind + "} else {\n")
+				RenderStmts(sb, s.Else, depth+1)
+			}
+			sb.WriteString(ind + "}\n")
+		}
+	}
+}
+
+// renderExpr drops the outermost parentheses for readability.
+func renderExpr(e Expr) string {
+	if b, ok := e.(Bin); ok {
+		return fmt.Sprintf("%s %c %s", b.L.String(), b.Op, b.R.String())
+	}
+	return e.String()
+}

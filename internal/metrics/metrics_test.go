@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(10*time.Second, 2*time.Second); s != 5 {
+		t.Fatalf("speedup = %v, want 5", s)
+	}
+	if s := Speedup(time.Second, 0); s != 0 {
+		t.Fatalf("speedup with zero elapsed = %v, want 0", s)
+	}
+}
+
+func TestEfficiencyDedicated(t *testing.T) {
+	// 4 dedicated slaves, perfect speedup: efficiency 1.
+	usage := make([]cluster.Usage, 4)
+	e := Efficiency(8*time.Second, 2*time.Second, usage)
+	if e != 1.0 {
+		t.Fatalf("efficiency = %v, want 1.0", e)
+	}
+}
+
+func TestEfficiencyWithCompetingLoad(t *testing.T) {
+	// 2 slaves, one loses half its CPU to a competitor: available CPU is
+	// elapsed + elapsed/2 = 3s; sequential work of 3s -> efficiency 1.
+	usage := []cluster.Usage{
+		{CompetingCPU: time.Second},
+		{},
+	}
+	e := Efficiency(3*time.Second, 2*time.Second, usage)
+	if e != 1.0 {
+		t.Fatalf("efficiency = %v, want 1.0", e)
+	}
+	// Less productive work over the same availability -> lower efficiency.
+	e = Efficiency(1500*time.Millisecond, 2*time.Second, usage)
+	if e != 0.5 {
+		t.Fatalf("efficiency = %v, want 0.5", e)
+	}
+}
+
+func TestEfficiencyGuards(t *testing.T) {
+	usage := []cluster.Usage{{CompetingCPU: 10 * time.Second}}
+	if e := Efficiency(time.Second, time.Second, usage); e != 0 {
+		t.Fatalf("efficiency with no available CPU = %v, want 0", e)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "demo", Headers: []string{"P", "time", "speedup"}}
+	tab.AddRowf(1, 2500*time.Millisecond, 1.0)
+	tab.AddRowf(2, 1250*time.Millisecond, 2.0)
+	out := tab.String()
+	for _, want := range []string{"demo", "P", "speedup", "2.50s", "2.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines, want 5", len(lines))
+	}
+}
