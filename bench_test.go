@@ -179,6 +179,33 @@ func BenchmarkHeterogeneous(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultRecovery regenerates the fault-tolerance evaluation
+// (crash/stall/join scenarios on the calibrated workloads) and reports the
+// cost of surviving a crash near the end of the MM run.
+func BenchmarkFaultRecovery(b *testing.B) {
+	var rows []exp.FaultRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.FaultTolerance(exp.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var free, crash exp.FaultRow
+	for _, r := range rows {
+		if r.App == "mm" && r.Scenario == "fault-free" {
+			free = r
+		}
+		if r.App == "mm" && r.Scenario == "crash @30s" {
+			crash = r
+		}
+	}
+	if free.Eff > 0 {
+		b.ReportMetric((free.Eff-crash.Eff)/free.Eff, "eff-loss@crash")
+		b.ReportMetric(float64(crash.Recoveries), "recoveries")
+	}
+}
+
 // --- component micro-benchmarks ---
 
 // BenchmarkLoweredMatMul measures the lowered execution engine on the MM

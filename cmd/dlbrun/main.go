@@ -22,6 +22,7 @@ import (
 	"repro/internal/compile"
 	"repro/internal/depend"
 	"repro/internal/dlb"
+	"repro/internal/fault"
 	"repro/internal/lang"
 	"repro/internal/loopir"
 	"repro/internal/metrics"
@@ -77,6 +78,12 @@ func main() {
 	flopCost := flag.Duration("flopcost", time.Microsecond, "virtual CPU time per flop (1µs ≈ Sun 4/330)")
 	real := flag.Bool("real", false, "run for real: wall-clock goroutines instead of the simulated cluster")
 	drag := flag.Float64("drag", 1.0, "with -real: slow slave 0 by this factor (emulated loaded machine)")
+	faultSpec := flag.String("fault", "", "fault plan: crash:S@T | stall:S@T:D | drop:S@T:D | join@T (comma-separated; seconds)")
+	lease := flag.Duration("lease", 0, "failure-detection lease floor (with -fault; 0: default)")
+	hbEvery := flag.Duration("hb", 0, "heartbeat interval (with -fault; 0: default)")
+	ckptMin := flag.Duration("ckpt-min", 0, "minimum checkpoint interval (with -fault; 0: default)")
+	ckptMax := flag.Duration("ckpt-max", 0, "maximum checkpoint interval (with -fault; 0: default)")
+	ckptOff := flag.Bool("ckpt-off", false, "disable periodic checkpoints (recovery restarts from the initial distribution)")
 	flag.Parse()
 
 	var prog *loopir.Program
@@ -144,6 +151,15 @@ func main() {
 		FlopCost:     *flopCost,
 		CollectTrace: *showTrace,
 	}
+	if *faultSpec != "" {
+		fp, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Fault = fp
+		cfg.Detect = fault.DetectorConfig{MinLease: *lease, HeartbeatEvery: *hbEvery}
+		cfg.Ckpt = fault.CkptPolicy{MinInterval: *ckptMin, MaxInterval: *ckptMax, Disable: *ckptOff}
+	}
 	var res *dlb.Result
 	if *real {
 		if *drag > 1 {
@@ -202,6 +218,13 @@ func main() {
 	fmt.Printf("  LB phases: %d, moves: %d (%d units), strip grain: %d\n",
 		res.Phases, res.Moves, res.UnitsMoved, res.Grain)
 	fmt.Printf("  result vs sequential reference: max |diff| = %g\n", worst)
+	if cfg.Fault != nil {
+		fmt.Printf("  fault handling: %d recoveries, %d checkpoints, evicted %v, joined %v\n",
+			res.Recoveries, res.Checkpoints, res.Evicted, res.Joined)
+		if res.FaultLog != nil && len(res.FaultLog.Events) > 0 {
+			fmt.Print(res.FaultLog)
+		}
+	}
 
 	if *showTrace && len(res.Trace) > 0 {
 		raw := &trace.Series{Name: "raw-rate"}

@@ -86,6 +86,7 @@ type Balancer struct {
 	own      *Ownership
 	filters  []*RateFilter
 	costs    *MoveCostModel
+	alive    []bool        // nil: all slots alive (no failures so far)
 	lastMove time.Duration // most recent measured movement cost
 	lastInt  time.Duration // most recent measured interaction cost
 }
@@ -115,6 +116,36 @@ func (b *Balancer) Ownership() *Ownership { return b.own }
 
 // Deactivate marks a unit as having no remaining work.
 func (b *Balancer) Deactivate(unit int) { b.own.Deactivate(unit) }
+
+// SetAlive installs the liveness mask used after a failure: dead slots are
+// excluded from target allocations and never appear as move endpoints, and
+// their (stale) rate reports are ignored. Passing nil restores the
+// no-failures behavior. The mask is also grown implicitly by AddSlave via
+// Grow.
+func (b *Balancer) SetAlive(alive []bool) {
+	if alive == nil {
+		b.alive = nil
+		return
+	}
+	if len(alive) != b.cfg.Slaves {
+		panic("core: alive mask size mismatch")
+	}
+	b.alive = append([]bool(nil), alive...)
+}
+
+// Grow extends the balancer (and its ownership map) to cover newly joined
+// slave slots. New slots start alive with a fresh rate filter and zero
+// owned units.
+func (b *Balancer) Grow(slaves int) {
+	for b.cfg.Slaves < slaves {
+		b.own.AddSlave()
+		b.cfg.Slaves++
+		b.filters = append(b.filters, NewRateFilter(b.cfg.FilterMinWeight, b.cfg.FilterMaxWeight))
+		if b.alive != nil {
+			b.alive = append(b.alive, true)
+		}
+	}
+}
 
 // completionTime is the projected time for the slowest slave to finish its
 // allocation at the given rates.
@@ -146,6 +177,9 @@ func (b *Balancer) Step(statuses []Status, unitsPerHook float64) Decision {
 	rates := make([]float64, b.cfg.Slaves)
 	sumRate := 0.0
 	for i, st := range statuses {
+		if b.alive != nil && !b.alive[i] {
+			continue // dead slot: rate stays 0, filter state frozen
+		}
 		if b.cfg.DisableFilter {
 			rates[i] = st.Rate
 		} else {
@@ -186,7 +220,7 @@ func (b *Balancer) Step(statuses []Status, unitsPerHook float64) Decision {
 		return d
 	}
 	counts := b.own.ActiveCounts()
-	targets := apportion(total, rates)
+	targets := apportionAlive(total, rates, b.alive)
 	d.Targets = targets
 
 	before := completionTime(counts, rates)
@@ -207,8 +241,15 @@ func (b *Balancer) Step(statuses []Status, unitsPerHook float64) Decision {
 
 	var moves []Move
 	if b.cfg.Restricted {
-		moves = movesRestricted(b.own, targets)
+		if b.alive != nil {
+			moves = movesRestrictedAlive(b.own, targets, b.alive)
+		} else {
+			moves = movesRestricted(b.own, targets)
+		}
 	} else {
+		// Unrestricted movement is dead-slot safe as is: a dead slot has
+		// zero owned units and a zero target, so it is neither surplus nor
+		// deficit and never becomes a move endpoint.
 		moves = movesUnrestricted(b.own, targets)
 	}
 	if len(moves) == 0 {

@@ -23,6 +23,9 @@ type StatusMsg struct {
 	MoveCost  time.Duration // measured cost of the last work movement
 	InterCost time.Duration // measured cost of the previous interaction
 	Done      bool
+	// Epoch is the recovery epoch this report belongs to (fault-tolerant
+	// runs only); the master drops reports from earlier epochs.
+	Epoch int
 }
 
 // InstrMsg is the master's reply: redistribution moves and the hook-skip
@@ -32,6 +35,7 @@ type InstrMsg struct {
 	HookIndex int
 	Moves     []core.Move
 	SkipHooks int
+	Epoch     int // recovery epoch (fault-tolerant runs); stale instrs are dropped
 }
 
 // WorkMsg carries moved work units' data plus the ghost slices adjacent to
@@ -64,6 +68,95 @@ type GatherMsg struct {
 	// Reduced carries the final combined values of reduction arrays
 	// (reported by slave 0; identical on every slave after Combine).
 	Reduced map[string][]float64
+}
+
+// Fault-tolerance messages (internal/fault subsystem). All are exchanged
+// with the master only; slave-to-slave traffic is instead epoch-scoped by
+// tag suffix so stale in-flight data from before a recovery is never
+// consumed.
+
+// HeartbeatMsg is a slave's lightweight sign of life, emitted at hook sites
+// and while blocked in a receive, so the master can distinguish a crashed
+// slave from one that is merely computing or waiting between contacts.
+type HeartbeatMsg struct {
+	Epoch     int
+	Phase     int
+	HookIndex int
+}
+
+// EvictMsg is sent by the master directly to a slave it has declared dead.
+// A stalled slave that resumes after eviction (a "zombie") sees it at its
+// next receive and terminates instead of corrupting the recovered epoch.
+// It also shuts down joiner processes that were never admitted.
+type EvictMsg struct {
+	Epoch  int
+	Reason string
+}
+
+// CheckpointRequestMsg asks every live slave for a snapshot at its next
+// master contact. It is sent immediately before the round's InstrMsg, so
+// FIFO delivery guarantees the slave observes it exactly when it consumes
+// that instruction — the same hook on every slave, a consistent cut.
+type CheckpointRequestMsg struct {
+	Epoch int
+	Seq   int
+}
+
+// CheckpointMsg is one slave's part of checkpoint Seq: its owned slices of
+// the distributed arrays plus resume coordinates. Only the designated slave
+// (lowest alive id) ships the shared state — ownership map, replicated
+// arrays, reduction snapshots — which is identical on every slave.
+type CheckpointMsg struct {
+	Epoch       int
+	Seq         int
+	Slave       int
+	Hook        int // hook index the snapshot was taken at
+	Phase       int // contact-phase counter to resume with
+	NextContact int
+	Owned       map[string]map[int][]float64
+	// Red holds this slave's reduction arrays: mid-interval partial
+	// accumulations differ per slave and must be restored per slave.
+	Red map[string][]float64
+	// Shared state, present only in the designated slave's part.
+	Meta       bool
+	Slaves     int
+	Owner      []int
+	Active     []bool
+	Replicated map[string][]float64
+	RedSnap    map[string][]float64
+}
+
+// FinAckMsg commits run completion: only after receiving it may a slave
+// stop participating in recovery and ship its final data (a slave that
+// announced "done" can still be rolled back if a peer died in the final
+// round before the master saw every survivor finish).
+type FinAckMsg struct {
+	Epoch int
+}
+
+// JoinMsg announces an idle node asking to be folded into the computation.
+type JoinMsg struct {
+	Slave int
+}
+
+// AdoptMsg restarts a recovery epoch: every surviving (and newly admitted)
+// slave restores the carried checkpoint state, fast-forwards its control
+// flow to the checkpoint hook, and resumes. It is a full re-scatter, so
+// slaves need not retain local snapshots.
+type AdoptMsg struct {
+	Epoch       int
+	Seq         int
+	Hook        int // -1: restart from the initial distribution
+	Phase       int
+	NextContact int
+	Slaves      int
+	Alive       []bool
+	Owner       []int
+	Active      []bool
+	Owned       map[string]map[int][]float64 // this slave's units (plus needed ghosts) under the repaired map
+	Red         map[string][]float64         // this slave's reduction arrays (dead slaves' deltas folded in)
+	Replicated  map[string][]float64
+	RedSnap     map[string][]float64
 }
 
 const msgHeader = 32 // estimated fixed framing bytes per message

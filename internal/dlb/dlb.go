@@ -23,6 +23,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/compile"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/loopir"
 	"repro/internal/vtime"
 )
@@ -70,6 +71,15 @@ type Config struct {
 	// RealDrag slows individual slaves in RunReal by the given factor
 	// (>= 1), emulating slower or loaded machines with controlled sleeps.
 	RealDrag []float64
+	// Fault enables the fault-tolerant runtime and injects the given
+	// failure schedule (which may be empty: detection, checkpointing and
+	// elastic join stay armed without any injected fault). Requires DLB —
+	// the load-balancing hooks are the heartbeat and checkpoint substrate.
+	Fault *fault.Plan
+	// Ckpt throttles periodic checkpoints (fault-tolerant runs).
+	Ckpt fault.CkptPolicy
+	// Detect tunes master-side failure detection (fault-tolerant runs).
+	Detect fault.DetectorConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +138,17 @@ type Result struct {
 	Moves, UnitsMoved int
 	// Trace holds Figure 9 samples when CollectTrace is set.
 	Trace []Sample
+	// Fault-tolerant runs: recovery epochs started, checkpoints committed,
+	// slaves declared dead, joiner slots admitted, and the deterministic
+	// fault-handling event trace.
+	Recoveries  int
+	Checkpoints int
+	Evicted     []int
+	Joined      []int
+	FaultLog    *fault.Log
+	// Owner is the final unit-to-slave ownership map (fault-tolerant runs
+	// only): the state of the replicated map when the run committed.
+	Owner []int
 }
 
 // Run executes the plan on the given cluster configuration and returns the
@@ -141,6 +162,15 @@ func Run(cfg Config, cc cluster.Config) (*Result, error) {
 	slaves := cc.Slaves
 	if slaves < 1 {
 		return nil, fmt.Errorf("dlb: need at least one slave")
+	}
+	ft := cfg.Fault != nil
+	if ft {
+		if !cfg.DLB {
+			return nil, fmt.Errorf("dlb: fault tolerance requires DLB (hooks are the heartbeat and checkpoint substrate)")
+		}
+		if err := cfg.Fault.Validate(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Master instance: initial data source and final destination.
@@ -181,44 +211,112 @@ func Run(cfg Config, cc cluster.Config) (*Result, error) {
 	}
 
 	k := vtime.NewKernel()
-	c := cluster.New(k, cc)
+	simCC := cc
+	var joins []time.Duration
+	total := slaves
+	if ft {
+		// Joiner processes occupy cluster slots beyond the initial slaves;
+		// they idle until their join time and are folded in by recovery.
+		joins = cfg.Fault.Joins()
+		total = slaves + len(joins)
+		simCC.Slaves = total
+	}
+	c := cluster.New(k, simCC)
 
 	r := &Result{Exec: exec, Grain: grain}
-	m := &master{
-		cfg:    &cfg,
-		cc:     c.Config(),
-		slaves: slaves,
-		exec:   exec,
-		inst:   masterInst,
-		res:    r,
-		grain:  grain,
-	}
-	c.Spawn("master", cluster.MasterID, func(p *vtime.Proc, n *cluster.Node) {
-		m.runOn(&simEndpoint{p: p, n: n})
-	})
-	for i := 0; i < slaves; i++ {
-		s := &slave{
-			id:     i,
-			slaves: slaves,
+	var legacy *master
+	var mft *masterFT
+	if ft {
+		flog := &fault.Log{}
+		r.FaultLog = flog
+		inj := fault.NewInjector(cfg.Fault)
+		hbEvery := fault.NewDetector(cfg.Detect, 1).Config().HeartbeatEvery
+		mft = &masterFT{
+			cfg:     &cfg,
+			cc:      c.Config(),
+			initial: slaves,
+			total:   total,
+			exec:    exec,
+			inst:    masterInst,
+			res:     r,
+			grain:   grain,
+			log:     flog,
+		}
+		c.Spawn("master", cluster.MasterID, func(p *vtime.Proc, n *cluster.Node) {
+			mft.runOn(&simEndpoint{p: p, n: n})
+		})
+		for i := 0; i < total; i++ {
+			s := &slave{
+				id:      i,
+				slaves:  slaves,
+				cfg:     &cfg,
+				exec:    exec,
+				grain:   grain,
+				ft:      true,
+				hbEvery: hbEvery,
+			}
+			if i >= slaves {
+				s.joiner = true
+				s.joinAt = joins[i-slaves]
+			}
+			id := i
+			c.Spawn(fmt.Sprintf("slave%d", id), id, func(p *vtime.Proc, n *cluster.Node) {
+				// An injected crash (or a zombie's eviction) kills the process
+				// by panic; recover it so the proc dies silently, exactly as a
+				// failed workstation would.
+				defer func() {
+					if rec := recover(); rec != nil && !isFaultExit(rec) {
+						panic(rec)
+					}
+				}()
+				s.runOn(newFaultEP(&simEndpoint{p: p, n: n}, id, inj, flog))
+			})
+		}
+	} else {
+		legacy = &master{
 			cfg:    &cfg,
+			cc:     c.Config(),
+			slaves: slaves,
 			exec:   exec,
+			inst:   masterInst,
+			res:    r,
 			grain:  grain,
 		}
-		c.Spawn(fmt.Sprintf("slave%d", i), i, func(p *vtime.Proc, n *cluster.Node) {
-			s.runOn(&simEndpoint{p: p, n: n})
+		c.Spawn("master", cluster.MasterID, func(p *vtime.Proc, n *cluster.Node) {
+			legacy.runOn(&simEndpoint{p: p, n: n})
 		})
+		for i := 0; i < slaves; i++ {
+			s := &slave{
+				id:     i,
+				slaves: slaves,
+				cfg:    &cfg,
+				exec:   exec,
+				grain:  grain,
+			}
+			c.Spawn(fmt.Sprintf("slave%d", i), i, func(p *vtime.Proc, n *cluster.Node) {
+				s.runOn(&simEndpoint{p: p, n: n})
+			})
+		}
 	}
 	if err := k.Run(); err != nil {
 		return nil, fmt.Errorf("dlb: %w", err)
 	}
 	r.Elapsed = k.Now()
-	for i := 0; i < slaves; i++ {
+	for i := 0; i < total; i++ {
 		n := c.Node(i)
 		n.FinishAt(k.Now())
 		r.Usage = append(r.Usage, n.Usage())
 	}
-	r.Final = m.final
-	r.ComputeElapsed = m.computeEnd - m.computeStart
+	if ft {
+		if mft.err != nil {
+			return nil, mft.err
+		}
+		r.Final = mft.final
+		r.ComputeElapsed = mft.computeEnd - mft.computeStart
+	} else {
+		r.Final = legacy.final
+		r.ComputeElapsed = legacy.computeEnd - legacy.computeStart
+	}
 	return r, nil
 }
 

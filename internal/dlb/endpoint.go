@@ -32,6 +32,34 @@ type Endpoint interface {
 	Busy() time.Duration
 	// Now reports elapsed time since the run started.
 	Now() time.Duration
+	// Sleep idles for d without accruing busy time (poll backoff, fault
+	// windows, delayed joins).
+	Sleep(d time.Duration)
+}
+
+// pollInterval is the backoff of poll-based receive loops (fault-tolerant
+// mode). On the simulated cluster polling is deterministic: TryRecv plus a
+// fixed virtual-time sleep.
+const pollInterval = time.Millisecond
+
+// recvTimeout polls for a matching message until the timeout elapses. A
+// non-positive timeout checks exactly once.
+func recvTimeout(ep Endpoint, from int, tag string, timeout time.Duration) (cluster.Msg, bool) {
+	deadline := ep.Now() + timeout
+	for {
+		if m, ok := ep.TryRecv(from, tag); ok {
+			return m, true
+		}
+		now := ep.Now()
+		if now >= deadline {
+			return cluster.Msg{}, false
+		}
+		d := pollInterval
+		if deadline-now < d {
+			d = deadline - now
+		}
+		ep.Sleep(d)
+	}
 }
 
 // simEndpoint adapts a virtual-time cluster node.
@@ -51,5 +79,6 @@ func (e *simEndpoint) Recv(from int, tag string) cluster.Msg {
 func (e *simEndpoint) TryRecv(from int, tag string) (cluster.Msg, bool) {
 	return e.n.TryRecvTag(e.p, from, tag)
 }
-func (e *simEndpoint) Busy() time.Duration { return e.n.Usage().BusyElapsed }
-func (e *simEndpoint) Now() time.Duration  { return e.p.Now() }
+func (e *simEndpoint) Busy() time.Duration   { return e.n.Usage().BusyElapsed }
+func (e *simEndpoint) Now() time.Duration    { return e.p.Now() }
+func (e *simEndpoint) Sleep(d time.Duration) { e.p.Sleep(d) }

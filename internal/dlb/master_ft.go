@@ -1,0 +1,786 @@
+package dlb
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/loopir"
+)
+
+// masterFT is the fault-tolerant master: the legacy phase loop plus
+// lease-based failure detection, periodic consistent checkpoints, recovery
+// epochs, and elastic admission of late-joining nodes. It runs instead of
+// (not on top of) the legacy master, which stays byte-for-byte unchanged
+// for the deterministic reproduction paths.
+type masterFT struct {
+	cfg     *Config
+	cc      cluster.Config
+	initial int // slaves participating from the start
+	total   int // slots including not-yet-admitted joiners
+	exec    *compile.Exec
+	inst    *loopir.Instance
+	res     *Result
+	grain   int
+	log     *fault.Log
+
+	final        map[string]*loopir.Array
+	computeStart time.Duration
+	computeEnd   time.Duration
+	err          error
+
+	ep      Endpoint
+	plan    *compile.Plan
+	own     *core.Ownership
+	bal     *core.Balancer
+	balCfg  core.Config
+	fixed   time.Duration // per-message fixed movement cost
+	perUnit time.Duration
+
+	det        *fault.Detector
+	pol        fault.CkptPolicy
+	ck         *fault.Checkpoint // latest committed snapshot
+	pending    *pendingCkpt
+	seq        int
+	ckptCost   time.Duration // estimated cost of taking one checkpoint
+	lastCkptAt time.Duration
+
+	epoch       int
+	inbox       map[int][]slaveEvent // per-slave FIFO of round events
+	alive       []bool               // len total
+	admitted    []bool               // joiner slots folded into the ownership map
+	queued      []bool               // joiner slots waiting for admission
+	joinQueue   []int
+	wantCkpt    bool // a join forces a fresh checkpoint
+	done        []bool
+	doneCount   int
+	lastRates   []float64 // last filtered rates: reassignment weights
+	lastRoundAt time.Duration
+	epochRounds int // contact rounds since the current epoch started
+}
+
+// pendingCkpt collects the parts of an in-flight checkpoint.
+type pendingCkpt struct {
+	seq   int
+	want  []int // the alive participants when the request went out
+	parts map[int]CheckpointMsg
+}
+
+// slaveEvent is one entry of a slave's round stream: a status report or its
+// termination announcement.
+type slaveEvent struct {
+	st   StatusMsg
+	done bool
+}
+
+func (m *masterFT) runOn(ep Endpoint) {
+	m.ep = ep
+	plan := m.exec.Plan
+	m.plan = plan
+
+	own := core.NewBlockOwnership(m.exec.Units, m.initial)
+	lo, hi := m.exec.InitialActive()
+	for u := 0; u < own.Units(); u++ {
+		if u < lo || u >= hi {
+			own.Deactivate(u)
+		}
+	}
+	m.own = own
+
+	m.balCfg = core.DefaultConfig(m.initial, plan.Restricted)
+	m.balCfg.MinImprovement = m.cfg.MinImprovement
+	m.balCfg.DisableFilter = m.cfg.DisableFilter
+	m.balCfg.DisableProfitability = m.cfg.DisableProfitability
+	m.balCfg.Quantum = m.cc.Quantum
+	unitBytes := 0
+	totalBytes := 0
+	for arr, dim := range plan.DistArrays {
+		a := m.inst.Arrays[arr]
+		unitBytes += 8 * unitSize(a, dim)
+		totalBytes += 8 * len(a.Data)
+	}
+	for _, arr := range plan.Replicated {
+		totalBytes += 8 * len(m.inst.Arrays[arr].Data)
+	}
+	m.perUnit = time.Duration(float64(unitBytes) / m.cc.Bandwidth * float64(time.Second))
+	m.fixed = m.cc.LinkLatency + m.cc.SendOverhead
+	m.bal = core.NewBalancer(m.balCfg, own, core.NewMoveCostModel(m.fixed, m.perUnit))
+	// Checkpoint cost estimate for the throttling policy: ship the whole
+	// distributed state plus the shared replicated state once.
+	m.ckptCost = time.Duration(float64(totalBytes)/m.cc.Bandwidth*float64(time.Second)) +
+		time.Duration(m.initial)*m.fixed
+
+	m.alive = make([]bool, m.total)
+	for i := 0; i < m.initial; i++ {
+		m.alive[i] = true
+	}
+	m.inbox = map[int][]slaveEvent{}
+	m.admitted = make([]bool, m.total)
+	m.queued = make([]bool, m.total)
+	m.done = make([]bool, m.total)
+	m.det = fault.NewDetector(m.cfg.Detect, m.total)
+	m.pol = m.cfg.Ckpt
+	m.initialCkpt()
+
+	m.scatter()
+	m.computeStart = ep.Now()
+	m.det.Reset(ep.Now())
+	m.lastCkptAt = ep.Now()
+	m.lastRoundAt = ep.Now()
+
+	for m.remaining() > 0 {
+		raw, ok := m.collectRound()
+		if !ok {
+			continue // a recovery restarted the epoch; collect afresh
+		}
+		if raw == nil {
+			break // every participant announced completion
+		}
+		m.handleRound(raw)
+	}
+	m.computeEnd = ep.Now()
+
+	// Commit completion: from here on no recovery is possible, so slaves may
+	// ship their final data and stop (see FinAckMsg).
+	for id := 0; id < m.own.Slaves(); id++ {
+		if m.alive[id] {
+			ep.Send(id, "finack", 32, FinAckMsg{Epoch: m.epoch})
+		}
+	}
+	// Release joiner processes that were never admitted (including ones that
+	// have not registered yet: the eviction waits in their mailbox).
+	for slot := m.initial; slot < m.total; slot++ {
+		if !m.admitted[slot] {
+			ep.Send(slot, "evict", 48, EvictMsg{Epoch: m.epoch, Reason: "run complete"})
+		}
+	}
+	m.gather()
+	m.res.Owner, _ = m.own.Snapshot()
+}
+
+func (m *masterFT) scatter() {
+	for sl := 0; sl < m.initial; sl++ {
+		msg := InitMsg{Owned: map[string]map[int][]float64{}, Replicated: map[string][]float64{}}
+		bytes := msgHeader
+		for arr, dim := range m.plan.DistArrays {
+			a := m.inst.Arrays[arr]
+			units := map[int][]float64{}
+			for _, u := range m.own.Owned(sl) {
+				vals := unitSlice(a, dim, u)
+				units[u] = vals
+				bytes += 8*len(vals) + 16
+			}
+			msg.Owned[arr] = units
+		}
+		for _, arr := range m.plan.Replicated {
+			a := m.inst.Arrays[arr]
+			vals := append([]float64(nil), a.Data...)
+			msg.Replicated[arr] = vals
+			bytes += 8 * len(vals)
+		}
+		m.ep.Send(sl, "init", bytes, msg)
+	}
+}
+
+// initialCkpt builds the synthetic checkpoint 0 from the master's initial
+// arrays: a recovery before the first committed snapshot restarts the whole
+// computation (Hook -1, no fast-forward).
+func (m *masterFT) initialCkpt() {
+	ck := &fault.Checkpoint{Seq: 0, Hook: -1, Slaves: m.own.Slaves()}
+	ck.Owner, ck.Active = m.own.Snapshot()
+	ck.Dist = map[string]map[int][]float64{}
+	for arr, dim := range m.plan.DistArrays {
+		a := m.inst.Arrays[arr]
+		units := map[int][]float64{}
+		for u := 0; u < m.exec.Units; u++ {
+			units[u] = unitSlice(a, dim, u)
+		}
+		ck.Dist[arr] = units
+	}
+	ck.Replicated = map[string][]float64{}
+	for _, arr := range m.plan.Replicated {
+		ck.Replicated[arr] = append([]float64(nil), m.inst.Arrays[arr].Data...)
+	}
+	ck.RedSnap = map[string][]float64{}
+	ck.Red = map[int]map[string][]float64{}
+	for _, r := range m.plan.Reductions {
+		ck.RedSnap[r.Array] = append([]float64(nil), m.inst.Arrays[r.Array].Data...)
+	}
+	for s := 0; s < m.own.Slaves(); s++ {
+		red := map[string][]float64{}
+		for arr, vals := range ck.RedSnap {
+			red[arr] = append([]float64(nil), vals...)
+		}
+		ck.Red[s] = red
+	}
+	m.ck = ck
+}
+
+// participants lists the alive slaves of the current membership, ascending.
+func (m *masterFT) participants() []int {
+	var out []int
+	for id := 0; id < m.own.Slaves(); id++ {
+		if m.alive[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (m *masterFT) remaining() int {
+	n := 0
+	for _, id := range m.participants() {
+		if !m.done[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// collectRound gathers one full round of status reports. It returns
+// (nil, false) if a recovery was performed (the round is void), (nil, true)
+// if every participant announced completion, and (statuses, true) for a
+// normal round. While waiting it processes heartbeats, checkpoint parts and
+// join requests, and evicts slaves whose lease expires.
+func (m *masterFT) collectRound() (map[int]StatusMsg, bool) {
+	raw := map[int]StatusMsg{}
+	dones := 0
+	for {
+		// Pop queued round events, at most one per slave: the pump receives
+		// from AnySource, so a fast slave's next-round status (or its done)
+		// can arrive while this round is still collecting. The per-slave FIFO
+		// restores the round alignment the legacy per-slave Recv gave.
+		for _, id := range m.participants() {
+			if m.done[id] {
+				continue
+			}
+			if _, got := raw[id]; got {
+				continue
+			}
+			q := m.inbox[id]
+			if len(q) == 0 {
+				continue
+			}
+			ev := q[0]
+			m.inbox[id] = q[1:]
+			if ev.done {
+				if len(raw) > 0 {
+					panic("dlb: slave schedules diverged (mixed status/done round)")
+				}
+				dones++
+				m.done[id] = true
+				m.doneCount++
+				// The computation ended before the next contact hook, so an
+				// outstanding checkpoint request will never be answered.
+				m.pending = nil
+			} else {
+				if dones > 0 {
+					panic("dlb: slave schedules diverged (mixed status/done round)")
+				}
+				raw[id] = ev.st
+			}
+		}
+		missing := m.missingFrom(raw)
+		if len(missing) == 0 {
+			if m.remaining() == 0 {
+				return nil, true
+			}
+			return raw, true
+		}
+		wait := m.det.Deadline(missing[0]) - m.ep.Now()
+		for _, id := range missing[1:] {
+			if d := m.det.Deadline(id) - m.ep.Now(); d < wait {
+				wait = d
+			}
+		}
+		if wait > 0 {
+			if msg, ok := recvTimeout(m.ep, cluster.AnySource, "", wait); ok {
+				if m.handleMsg(msg) {
+					return nil, false
+				}
+				continue
+			}
+		} else if msg, ok := m.ep.TryRecv(cluster.AnySource, ""); ok {
+			// Deadlines passed, but drain already-delivered traffic first: a
+			// sign of life may be sitting in the mailbox.
+			if m.handleMsg(msg) {
+				return nil, false
+			}
+			continue
+		}
+		if dead := m.det.Expired(m.ep.Now(), missing); len(dead) > 0 {
+			m.recoverFrom(dead, nil)
+			return nil, false
+		}
+	}
+}
+
+// missingFrom lists participants whose status for this round is still
+// outstanding (done slaves only heartbeat; they are watched via gather).
+func (m *masterFT) missingFrom(raw map[int]StatusMsg) []int {
+	var out []int
+	for _, id := range m.participants() {
+		if m.done[id] {
+			continue
+		}
+		if _, ok := raw[id]; !ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// handleMsg processes one message during round collection. Status and done
+// messages are queued per slave (collectRound pops them round-aligned); the
+// function returns true when the message triggered a recovery (so the caller
+// must void the round).
+func (m *masterFT) handleMsg(msg cluster.Msg) bool {
+	now := m.ep.Now()
+	from := msg.From
+	aliveFrom := from >= 0 && from < len(m.alive) && m.alive[from]
+	switch msg.Tag {
+	case "status":
+		st := msg.Data.(StatusMsg)
+		if !aliveFrom {
+			return false // a zombie's report; its eviction is in flight
+		}
+		m.det.Observe(from, now)
+		if st.Epoch != m.epoch {
+			return false // stale pre-recovery report
+		}
+		m.inbox[from] = append(m.inbox[from], slaveEvent{st: st})
+	case "done":
+		st := msg.Data.(StatusMsg)
+		if !aliveFrom {
+			return false
+		}
+		m.det.Observe(from, now)
+		if st.Epoch != m.epoch {
+			return false
+		}
+		m.inbox[from] = append(m.inbox[from], slaveEvent{st: st, done: true})
+	case "hb":
+		if aliveFrom {
+			m.det.Observe(from, now)
+		}
+	case "ckpt":
+		part := msg.Data.(CheckpointMsg)
+		if !aliveFrom {
+			return false
+		}
+		m.det.Observe(from, now)
+		if part.Epoch != m.epoch || m.pending == nil || part.Seq != m.pending.seq {
+			return false
+		}
+		m.pending.parts[part.Slave] = part
+		if len(m.pending.parts) == len(m.pending.want) {
+			m.commitCkpt()
+			if len(m.joinQueue) > 0 {
+				// Admission rides on the snapshot just taken: survivors roll
+				// back only to the state of a moment ago.
+				js := m.joinQueue
+				m.joinQueue = nil
+				m.recoverFrom(nil, js)
+				return true
+			}
+		}
+	case "join":
+		j := msg.Data.(JoinMsg)
+		if j.Slave >= m.initial && j.Slave < m.total && !m.admitted[j.Slave] && !m.queued[j.Slave] {
+			m.queued[j.Slave] = true
+			m.joinQueue = append(m.joinQueue, j.Slave)
+			m.wantCkpt = true
+			m.log.Add(now, fault.LogJoin, j.Slave, "registered, awaiting admission")
+		}
+	default:
+		panic(fmt.Sprintf("dlb: master: unexpected tag %q from %d", msg.Tag, from))
+	}
+	return false
+}
+
+// handleRound runs the load-balancing decision for one complete round and
+// sends the (possibly checkpoint-preceded) instructions.
+func (m *masterFT) handleRound(raw map[int]StatusMsg) {
+	ids := m.participants()
+	first := raw[ids[0]]
+	phase, hookIdx := first.Phase, first.HookIndex
+	for _, id := range ids {
+		st := raw[id]
+		if st.Phase != phase || st.HookIndex != hookIdx {
+			panic(fmt.Sprintf("dlb: master: slave %d at phase %d/hook %d, slave %d at %d/%d",
+				id, st.Phase, st.HookIndex, ids[0], phase, hookIdx))
+		}
+	}
+	m.res.Phases++
+	now := m.ep.Now()
+	m.det.ObserveInterval(now - m.lastRoundAt)
+	m.lastRoundAt = now
+
+	m.ep.Charge(m.cfg.MasterDecisionCost)
+
+	meta := m.exec.Phases[hookIdx]
+	for u := 0; u < m.own.Units(); u++ {
+		if (u < meta.ActiveLo || u >= meta.ActiveHi) && m.own.IsActive(u) {
+			m.own.Deactivate(u)
+		}
+	}
+
+	var d core.Decision
+	if m.cfg.DLB {
+		slots := m.own.Slaves()
+		counts := m.own.ActiveCounts()
+		statuses := make([]core.Status, slots)
+		var sumRate float64
+		var nRate int
+		for _, id := range ids {
+			st := raw[id]
+			rate := 0.0
+			if st.Busy > 0 && st.Units > 0 {
+				rate = st.Units / st.Busy.Seconds()
+				sumRate += rate
+				nRate++
+			}
+			statuses[id] = core.Status{Rate: rate, MoveCost: st.MoveCost, InteractionCost: st.InterCost}
+		}
+		// A slave with no work cannot measure its capability; assume the
+		// mean of the others so it can win work back. Dead slots keep rate
+		// zero — the balancer's alive mask excludes them anyway.
+		if nRate > 0 {
+			mean := sumRate / float64(nRate)
+			for _, id := range ids {
+				if statuses[id].Rate == 0 && counts[id] == 0 {
+					statuses[id].Rate = mean
+				}
+			}
+		}
+		unitsPerHook := float64(meta.UnitsBetween)
+		if next := hookIdx + 1; next < len(m.exec.Phases) {
+			unitsPerHook = float64(m.exec.Phases[next].UnitsBetween)
+		}
+		d = m.bal.Step(statuses, unitsPerHook)
+		m.lastRates = d.FilteredRates
+		m.res.Moves += len(d.Moves)
+		for _, mv := range d.Moves {
+			m.res.UnitsMoved += len(mv.Units)
+		}
+		if m.cfg.CollectTrace {
+			work := m.own.ActiveCounts()
+			for _, id := range ids {
+				m.res.Trace = append(m.res.Trace, Sample{
+					Time:      now,
+					Phase:     phase,
+					Slave:     id,
+					RawRate:   statuses[id].Rate,
+					Filtered:  d.FilteredRates[id],
+					Work:      work[id],
+					SkipHooks: d.SkipHooks,
+					Period:    d.Period,
+				})
+			}
+		}
+	}
+
+	// A checkpoint request precedes its instruction: FIFO delivery pins the
+	// consistent cut to the hook where this instruction is consumed. It can
+	// only ride on rounds whose instruction the slaves actually consume —
+	// pipelined phase 0 and the first post-recovery contact are skipped.
+	consumed := m.cfg.Synchronous || (phase > 0 && (m.epochRounds > 0 || m.ck.Hook < 0))
+	if consumed && m.pending == nil && m.doneCount == 0 &&
+		(m.wantCkpt || m.pol.Should(now, m.lastCkptAt, m.ckptCost)) {
+		m.seq++
+		m.wantCkpt = false
+		m.pending = &pendingCkpt{seq: m.seq, want: ids, parts: map[int]CheckpointMsg{}}
+		for _, id := range ids {
+			m.ep.Send(id, "ckptreq", 48, CheckpointRequestMsg{Epoch: m.epoch, Seq: m.seq})
+		}
+	}
+
+	instr := InstrMsg{Phase: phase, HookIndex: hookIdx, Moves: d.Moves, SkipHooks: d.SkipHooks, Epoch: m.epoch}
+	bytes := 64
+	for _, mv := range d.Moves {
+		bytes += 16 + 8*len(mv.Units)
+	}
+	for _, id := range ids {
+		m.ep.Send(id, "instr", bytes, instr)
+	}
+	m.epochRounds++
+}
+
+// commitCkpt merges the collected parts into the new authoritative
+// checkpoint.
+func (m *masterFT) commitCkpt() {
+	p := m.pending
+	m.pending = nil
+	now := m.ep.Now()
+	var metaPart *CheckpointMsg
+	hook := -2
+	for _, id := range p.want {
+		part := p.parts[id]
+		if hook == -2 {
+			hook = part.Hook
+		} else if part.Hook != hook {
+			panic(fmt.Sprintf("dlb: inconsistent checkpoint cut: hooks %d and %d", hook, part.Hook))
+		}
+		if part.Meta {
+			cp := part
+			metaPart = &cp
+		}
+	}
+	if metaPart == nil {
+		panic("dlb: checkpoint committed without a designated meta part")
+	}
+	ck := &fault.Checkpoint{
+		Seq:         p.seq,
+		Hook:        metaPart.Hook,
+		Phase:       metaPart.Phase,
+		NextContact: metaPart.NextContact,
+		At:          now,
+		Slaves:      metaPart.Slaves,
+		Owner:       metaPart.Owner,
+		Active:      metaPart.Active,
+		Replicated:  metaPart.Replicated,
+		RedSnap:     metaPart.RedSnap,
+		Dist:        map[string]map[int][]float64{},
+		Red:         map[int]map[string][]float64{},
+	}
+	for arr := range m.plan.DistArrays {
+		ck.Dist[arr] = map[int][]float64{}
+	}
+	for _, id := range p.want {
+		part := p.parts[id]
+		for arr, units := range part.Owned {
+			for u, vals := range units {
+				ck.Dist[arr][u] = vals
+			}
+		}
+		if part.Red != nil {
+			ck.Red[id] = part.Red
+		}
+	}
+	for arr, units := range ck.Dist {
+		if len(units) != m.exec.Units {
+			panic(fmt.Sprintf("dlb: checkpoint %d covers %d/%d units of %s", p.seq, len(units), m.exec.Units, arr))
+		}
+	}
+	m.ck = ck
+	m.res.Checkpoints++
+	m.lastCkptAt = now
+	m.log.Add(now, fault.LogCheckpoint, -1, "seq %d committed at hook %d", p.seq, ck.Hook)
+}
+
+// recoverFrom starts a recovery epoch: evict newDead, rebuild the ownership
+// map from the committed checkpoint (repairing dead slots and folding in
+// admitted joiners), rebuild the balancer, and re-scatter the checkpoint
+// state with AdoptMsgs.
+func (m *masterFT) recoverFrom(newDead, admitIDs []int) {
+	now := m.ep.Now()
+	for _, dd := range newDead {
+		m.alive[dd] = false
+		if m.done[dd] {
+			m.done[dd] = false
+			m.doneCount--
+		}
+		m.ep.Send(dd, "evict", 48, EvictMsg{Epoch: m.epoch, Reason: "lease expired"})
+		m.res.Evicted = append(m.res.Evicted, dd)
+		m.log.Add(now, fault.LogEvict, dd, "lease %.2fs expired", m.det.Lease().Seconds())
+	}
+	m.epoch++
+	ck := m.ck
+
+	own := core.OwnershipFromMap(ck.Owner, ck.Active, ck.Slaves)
+	// Re-grow the map for slots admitted since the snapshot, then fold in
+	// the new admissions. Joiner slots are numbered in registration-time
+	// order, so admission in id order keeps ownership slot == cluster id; a
+	// gap (an earlier joiner not yet registered) defers the later ones.
+	for slot := ck.Slaves; slot < m.total; slot++ {
+		if m.admitted[slot] {
+			own.AddSlave()
+			continue
+		}
+		wanted := false
+		for _, j := range admitIDs {
+			if j == slot {
+				wanted = true
+			}
+		}
+		if !wanted {
+			break
+		}
+		own.AddSlave()
+		m.admitted[slot] = true
+		m.alive[slot] = true
+		m.res.Joined = append(m.res.Joined, slot)
+		m.log.Add(now, fault.LogAdopt, slot, "admitted into epoch %d", m.epoch)
+	}
+	for _, j := range admitIDs {
+		if !m.admitted[j] {
+			m.joinQueue = append(m.joinQueue, j) // blocked by a gap; retry later
+		}
+	}
+
+	slots := own.Slaves()
+	aliveMask := append([]bool(nil), m.alive[:slots]...)
+	anyAlive := false
+	for _, a := range aliveMask {
+		anyAlive = anyAlive || a
+	}
+	if !anyAlive {
+		panic("dlb: recovery impossible: no surviving slaves")
+	}
+	for dd := 0; dd < slots; dd++ {
+		if !m.alive[dd] && len(own.Owned(dd)) > 0 {
+			if _, err := core.ReassignDead(own, dd, m.plan.Restricted, m.lastRates, aliveMask); err != nil {
+				panic(fmt.Sprintf("dlb: recovery: %v", err))
+			}
+		}
+	}
+	m.own = own
+	balCfg := m.balCfg
+	balCfg.Slaves = slots
+	// Fresh balancer: the rate-filter history predates the rollback.
+	m.bal = core.NewBalancer(balCfg, own, core.NewMoveCostModel(m.fixed, m.perUnit))
+	m.bal.SetAlive(aliveMask)
+
+	for i := range m.done {
+		m.done[i] = false
+	}
+	m.doneCount = 0
+	m.inbox = map[int][]slaveEvent{} // queued events predate the epoch bump
+	m.pending = nil
+	m.wantCkpt = len(m.joinQueue) > 0
+	m.lastCkptAt = now
+	m.epochRounds = 0
+
+	owner, active := own.Snapshot()
+	for _, id := range m.participants() {
+		adopt := AdoptMsg{
+			Epoch:       m.epoch,
+			Seq:         ck.Seq,
+			Hook:        ck.Hook,
+			Phase:       ck.Phase,
+			NextContact: ck.NextContact,
+			Slaves:      slots,
+			Alive:       append([]bool(nil), aliveMask...),
+			Owner:       owner,
+			Active:      active,
+			Owned:       map[string]map[int][]float64{},
+			Replicated:  ck.Replicated,
+			RedSnap:     ck.RedSnap,
+		}
+		bytes := msgHeader + 9*len(owner)
+		for arr := range m.plan.DistArrays {
+			src := ck.Dist[arr]
+			units := map[int][]float64{}
+			for _, u := range own.Owned(id) {
+				units[u] = src[u]
+				bytes += 8*len(src[u]) + 16
+			}
+			// Ghost data under the repaired map, from the cut-time owners:
+			// exchange ghosts are same-row reads of previous-sweep values,
+			// which the snapshot preserves; pipeline ghosts are re-supplied
+			// by re-execution.
+			for _, delta := range m.plan.GhostDeltas {
+				for _, g := range ghostNeeds(own, id, delta) {
+					if _, dup := units[g]; !dup {
+						units[g] = src[g]
+						bytes += 8*len(src[g]) + 16
+					}
+				}
+			}
+			adopt.Owned[arr] = units
+		}
+		if len(m.plan.Reductions) > 0 {
+			adopt.Red = m.redFor(id, ck, aliveMask)
+			for _, vals := range adopt.Red {
+				bytes += 8 * len(vals)
+			}
+		}
+		for _, vals := range ck.Replicated {
+			bytes += 8 * len(vals)
+		}
+		for _, vals := range ck.RedSnap {
+			bytes += 8 * len(vals)
+		}
+		m.ep.Send(id, "recover", bytes, adopt)
+	}
+	m.res.Recoveries++
+	m.log.Add(now, fault.LogRecover, -1, "epoch %d from checkpoint %d (hook %d)", m.epoch, ck.Seq, ck.Hook)
+	m.det.Reset(now)
+	m.lastRoundAt = now
+}
+
+// redFor builds one slave's restored reduction arrays. Mid-interval partial
+// accumulations differ per slave, so each slave gets its own snapshot back;
+// the deltas dead slaves had accumulated since the last Combine are folded
+// into the lowest-id survivor so the epoch's next Combine still totals the
+// same sum. Joiners start at the shared snapshot (delta zero).
+func (m *masterFT) redFor(id int, ck *fault.Checkpoint, alive []bool) map[string][]float64 {
+	out := map[string][]float64{}
+	if base, ok := ck.Red[id]; ok {
+		for arr, vals := range base {
+			out[arr] = append([]float64(nil), vals...)
+		}
+	} else {
+		for arr, vals := range ck.RedSnap {
+			out[arr] = append([]float64(nil), vals...)
+		}
+	}
+	lowest := -1
+	for i, a := range alive {
+		if a {
+			lowest = i
+			break
+		}
+	}
+	if id == lowest {
+		for dd := 0; dd < len(alive); dd++ {
+			if alive[dd] {
+				continue
+			}
+			red, ok := ck.Red[dd]
+			if !ok {
+				continue
+			}
+			for arr, vals := range red {
+				snap := ck.RedSnap[arr]
+				dst := out[arr]
+				for i := range vals {
+					dst[i] += vals[i] - snap[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// gather assembles the final arrays from the surviving participants. A
+// failure after completion was committed (the documented post-done window)
+// surfaces as a run error instead of a hang.
+func (m *masterFT) gather() {
+	final := map[string]*loopir.Array{}
+	for arr, a := range m.inst.Arrays {
+		final[arr] = a.Clone()
+	}
+	timeout := 2 * m.det.Lease()
+	for range m.participants() {
+		msg, ok := recvTimeout(m.ep, cluster.AnySource, "gather", timeout)
+		if !ok {
+			m.err = fmt.Errorf("dlb: gather timed out after %v (slave failed after completion was committed)", timeout)
+			return
+		}
+		g := msg.Data.(GatherMsg)
+		for arr, units := range g.Data {
+			dim := m.plan.DistArrays[arr]
+			for u, vals := range units {
+				setUnitSlice(final[arr], dim, u, vals)
+			}
+		}
+		for arr, vals := range g.Reduced {
+			copy(final[arr].Data, vals)
+		}
+	}
+	m.final = final
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/compile"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/loopir"
 )
 
@@ -64,29 +65,62 @@ func RunReal(cfg Config, slaves int) (*Result, error) {
 		return nil, err
 	}
 
+	ftMode := cfg.Fault != nil
+	var joins []time.Duration
+	total := slaves
+	if ftMode {
+		if !cfg.DLB {
+			return nil, fmt.Errorf("dlb: fault tolerance requires DLB (hooks are the heartbeat and checkpoint substrate)")
+		}
+		if err := cfg.Fault.Validate(); err != nil {
+			return nil, err
+		}
+		joins = cfg.Fault.Joins()
+		total = slaves + len(joins)
+	}
+
 	net := &realNet{
-		boxes: make([]chan cluster.Msg, slaves+1),
+		boxes: make([]chan cluster.Msg, total+1),
 		start: time.Now(),
 	}
 	for i := range net.boxes {
 		net.boxes[i] = make(chan cluster.Msg, 4096)
 	}
 
+	realCC := cluster.Config{
+		Slaves:       slaves,
+		Quantum:      cfg.RealQuantum,
+		Bandwidth:    1e9, // cost-model priors only; transfers are memory copies
+		LinkLatency:  10 * time.Microsecond,
+		SendOverhead: time.Microsecond,
+	}
 	r := &Result{Exec: exec, Grain: grain}
-	m := &master{
-		cfg: &cfg,
-		cc: cluster.Config{
-			Slaves:       slaves,
-			Quantum:      cfg.RealQuantum,
-			Bandwidth:    1e9, // cost-model priors only; transfers are memory copies
-			LinkLatency:  10 * time.Microsecond,
-			SendOverhead: time.Microsecond,
-		},
-		slaves: slaves,
-		exec:   exec,
-		inst:   masterInst,
-		res:    r,
-		grain:  grain,
+	var m *master
+	var mft *masterFT
+	if ftMode {
+		flog := &fault.Log{} // written by the master goroutine only
+		r.FaultLog = flog
+		mft = &masterFT{
+			cfg:     &cfg,
+			cc:      realCC,
+			initial: slaves,
+			total:   total,
+			exec:    exec,
+			inst:    masterInst,
+			res:     r,
+			grain:   grain,
+			log:     flog,
+		}
+	} else {
+		m = &master{
+			cfg:    &cfg,
+			cc:     realCC,
+			slaves: slaves,
+			exec:   exec,
+			inst:   masterInst,
+			res:    r,
+			grain:  grain,
+		}
 	}
 
 	errs := make(chan error, slaves+1)
@@ -97,6 +131,9 @@ func RunReal(cfg Config, slaves int) (*Result, error) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
+					if isFaultExit(p) {
+						return // an injected crash or eviction: die silently
+					}
 					errs <- fmt.Errorf("dlb: %s panicked: %v", name, p)
 					// Unblock peers waiting on this process so the run
 					// fails instead of hanging.
@@ -115,14 +152,34 @@ func RunReal(cfg Config, slaves int) (*Result, error) {
 			fn(&realEndpoint{net: net, id: id, drag: drag})
 		}()
 	}
-	endpoints := make([]*realEndpoint, slaves)
-	spawn("master", cluster.MasterID, m.runOn)
-	for i := 0; i < slaves; i++ {
+	endpoints := make([]*realEndpoint, total)
+	var inj *fault.Injector
+	var hbEvery time.Duration
+	if ftMode {
+		inj = fault.NewInjector(cfg.Fault)
+		hbEvery = fault.NewDetector(cfg.Detect, 1).Config().HeartbeatEvery
+	}
+	if ftMode {
+		spawn("master", cluster.MasterID, mft.runOn)
+	} else {
+		spawn("master", cluster.MasterID, m.runOn)
+	}
+	for i := 0; i < total; i++ {
 		s := &slave{id: i, slaves: slaves, cfg: &cfg, exec: exec, grain: grain}
+		if ftMode {
+			s.ft = true
+			s.hbEvery = hbEvery
+			if i >= slaves {
+				s.joiner = true
+				s.joinAt = joins[i-slaves]
+			}
+		}
 		i := i
 		spawn(fmt.Sprintf("slave%d", i), i, func(ep Endpoint) {
 			endpoints[i] = ep.(*realEndpoint)
-			s.runOn(ep)
+			// Wall-clock failure injection; the log stays nil here (the sim
+			// owns the deterministic trace).
+			s.runOn(newFaultEP(ep, i, inj, nil))
 		})
 	}
 	wg.Wait()
@@ -132,7 +189,7 @@ func RunReal(cfg Config, slaves int) (*Result, error) {
 	default:
 	}
 	r.Elapsed = time.Since(net.start)
-	for i := 0; i < slaves; i++ {
+	for i := 0; i < total; i++ {
 		u := cluster.Usage{}
 		if endpoints[i] != nil {
 			u.BusyElapsed = endpoints[i].busy
@@ -140,8 +197,16 @@ func RunReal(cfg Config, slaves int) (*Result, error) {
 		}
 		r.Usage = append(r.Usage, u)
 	}
-	r.Final = m.final
-	r.ComputeElapsed = m.computeEnd - m.computeStart
+	if ftMode {
+		if mft.err != nil {
+			return nil, mft.err
+		}
+		r.Final = mft.final
+		r.ComputeElapsed = mft.computeEnd - mft.computeStart
+	} else {
+		r.Final = m.final
+		r.ComputeElapsed = m.computeEnd - m.computeStart
+	}
 	return r, nil
 }
 
@@ -274,3 +339,9 @@ func (e *realEndpoint) TryRecv(from int, tag string) (cluster.Msg, bool) {
 
 func (e *realEndpoint) Busy() time.Duration { return e.busy }
 func (e *realEndpoint) Now() time.Duration  { return time.Since(e.net.start) }
+
+func (e *realEndpoint) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -44,6 +44,18 @@ type slave struct {
 	lastInter   time.Duration
 	blockLo     int
 	blockHi     int
+
+	// Fault tolerance (zero values in legacy runs keep behavior identical).
+	ft            bool
+	epoch         int
+	alive         []bool // nil until the first recovery: everyone alive
+	ff            bool   // fast-forwarding control flow to ffUntil
+	ffUntil       int
+	skipInstrOnce bool // first post-recovery contact restores pipelining
+	lastHB        time.Duration
+	hbEvery       time.Duration
+	joinAt        time.Duration // joiner: when to register (joiner iff joiner=true)
+	joiner        bool
 }
 
 func (s *slave) runOn(ep Endpoint) {
@@ -77,38 +89,47 @@ func (s *slave) runOn(ep Endpoint) {
 		panic(fmt.Sprintf("slave%d: %v", s.id, err))
 	}
 
-	// Initial scatter from the master.
-	init := s.ep.Recv(cluster.MasterID, "init").Data.(InitMsg)
-	for arr, units := range init.Owned {
-		dim := plan.DistArrays[arr]
-		for u, vals := range units {
-			setUnitSlice(s.inst.Arrays[arr], dim, u, vals)
-		}
-	}
-	for arr, vals := range init.Replicated {
-		copy(s.inst.Arrays[arr].Data, vals)
-	}
-	// Snapshot reduction arrays so Combine can merge per-slave deltas.
-	s.redSnap = map[string][]float64{}
-	for _, r := range plan.Reductions {
-		s.redSnap[r.Array] = append([]float64(nil), s.inst.Arrays[r.Array].Data...)
-	}
-
 	s.env = map[string]int{}
 	for k, v := range s.exec.Params {
 		s.env[k] = v
 	}
+
+	if s.joiner {
+		// An idle node: register at joinAt and wait to be adopted into a
+		// recovery epoch. If the run ends first, the master's shutdown
+		// EvictMsg releases us.
+		if !s.runJoiner() {
+			return
+		}
+	} else {
+		// Initial scatter from the master.
+		init := s.ep.Recv(cluster.MasterID, "init").Data.(InitMsg)
+		for arr, units := range init.Owned {
+			dim := plan.DistArrays[arr]
+			for u, vals := range units {
+				setUnitSlice(s.inst.Arrays[arr], dim, u, vals)
+			}
+		}
+		for arr, vals := range init.Replicated {
+			copy(s.inst.Arrays[arr].Data, vals)
+		}
+		// Snapshot reduction arrays so Combine can merge per-slave deltas.
+		s.redSnap = map[string][]float64{}
+		for _, r := range plan.Reductions {
+			s.redSnap[r.Array] = append([]float64(nil), s.inst.Arrays[r.Array].Data...)
+		}
+	}
 	s.busyMark = s.ep.Busy()
+	s.lastHB = s.ep.Now()
 
-	s.execSteps(plan.Steps)
-
-	// Announce termination: with data-dependent break conditions the
-	// number of balancing phases is only known here, at run time (§4.1).
-	s.ep.Send(cluster.MasterID, "done", 64, StatusMsg{
-		Phase:     s.phase,
-		HookIndex: s.hookVisit,
-		Done:      true,
-	})
+	// Epoch loop: a recovery AdoptMsg unwinds execution (epochRestart) back
+	// to here; the slave restores the checkpoint and re-enters the step tree,
+	// fast-forwarding to the checkpoint hook. Legacy runs make one pass. The
+	// termination announcement and the wait for the master's commit are part
+	// of the recoverable region: a slave that finished can still be rolled
+	// back if a peer died in the final round.
+	for !s.runEpoch() {
+	}
 
 	// Final gather: ship every owned unit of every distributed array back
 	// to the master; slave 0 also reports the combined reduction values.
@@ -123,7 +144,9 @@ func (s *slave) runOn(ep Endpoint) {
 		}
 		g.Data[arr] = m
 	}
-	if s.id == 0 && len(plan.Reductions) > 0 {
+	// The designated (lowest alive) slave reports the combined reduction
+	// values — identical on every slave after Combine; legacy: slave 0.
+	if s.designated() && len(plan.Reductions) > 0 {
 		g.Reduced = map[string][]float64{}
 		for _, r := range plan.Reductions {
 			vals := append([]float64(nil), s.inst.Arrays[r.Array].Data...)
@@ -193,7 +216,11 @@ func (s *slave) execSteps(steps []compile.Step) {
 			for v := lo; v < hi; v++ {
 				s.env[st.Var] = v
 				s.execSteps(st.Body)
-				if st.BreakIf != nil && s.evalBreak(st.BreakIf) {
+				// During fast-forward the condition is forced false: the
+				// checkpointed execution demonstrably got past this point, so
+				// the original evaluation was false (and restored data may
+				// not support re-evaluating it here).
+				if st.BreakIf != nil && !s.ff && s.evalBreak(st.BreakIf) {
 					break
 				}
 			}
@@ -270,6 +297,9 @@ func (s *slave) evalBreak(c *loopir.Cond) bool {
 // are exchanged all-to-all and summed in slave order, so every slave ends
 // with bit-identical values.
 func (s *slave) execCombine(st *compile.Combine) {
+	if s.ff {
+		return
+	}
 	arr := s.inst.Arrays[st.Array]
 	snap := s.redSnap[st.Array]
 	n := len(arr.Data)
@@ -279,23 +309,25 @@ func (s *slave) execCombine(st *compile.Combine) {
 	}
 	tag := "reduce:" + st.Array
 	for o := 0; o < s.slaves; o++ {
-		if o == s.id {
+		if o == s.id || !s.peerAlive(o) {
 			continue
 		}
-		s.ep.Send(o, tag, floatsBytes(n), append([]float64(nil), delta...))
+		s.send(o, tag, floatsBytes(n), append([]float64(nil), delta...))
 	}
 	parts := make([][]float64, s.slaves)
 	parts[s.id] = delta
 	for o := 0; o < s.slaves; o++ {
-		if o == s.id {
+		if o == s.id || !s.peerAlive(o) {
 			continue
 		}
-		parts[o] = s.ep.Recv(o, tag).Data.([]float64)
+		parts[o] = s.recvPeer(o, tag).Data.([]float64)
 	}
 	for i := 0; i < n; i++ {
 		v := snap[i]
 		for o := 0; o < s.slaves; o++ {
-			v += parts[o][i]
+			if parts[o] != nil {
+				v += parts[o][i]
+			}
 		}
 		arr.Data[i] = v
 		snap[i] = v
@@ -321,6 +353,15 @@ func (s *slave) perUnitFlops(body []loopir.Stmt, distVar string, mid int) float6
 }
 
 func (s *slave) execOwned(st *compile.OwnedLoop) {
+	if s.ff {
+		return
+	}
+	if s.ft {
+		// Long compute stretches between hooks must not starve the master's
+		// failure detector (the more work a slave inherits, the longer its
+		// silent stretches — exactly when false eviction hurts most).
+		s.maybeHeartbeat()
+	}
 	lo, hi := s.eval(st.Lo), s.eval(st.Hi)
 	if lo < 0 {
 		lo = 0
@@ -357,6 +398,9 @@ func (s *slave) execOwned(st *compile.OwnedLoop) {
 }
 
 func (s *slave) execOwnerBlock(st *compile.OwnerBlock) {
+	if s.ff {
+		return
+	}
 	idx := s.eval(st.Index)
 	if idx < 0 || idx >= s.exec.Units || s.own.OwnerOf(idx) != s.id {
 		return
@@ -367,6 +411,9 @@ func (s *slave) execOwnerBlock(st *compile.OwnerBlock) {
 }
 
 func (s *slave) execAll(st *compile.AllStmts) {
+	if s.ff {
+		return
+	}
 	for _, af := range s.allFrags {
 		if af.step == st {
 			flops := loopir.EstFlops(st.Body, s.env)
@@ -387,15 +434,18 @@ func (s *slave) execAll(st *compile.AllStmts) {
 // execExchange performs the sweep-start ghost exchange: whole-unit
 // transfers of old boundary values (paper Figure 3a's first send/receive).
 func (s *slave) execExchange(st *compile.Exchange) {
+	if s.ff {
+		return
+	}
 	arr := s.inst.Arrays[st.Array]
 	dim := s.exec.Plan.DistArrays[st.Array]
 	tag := "ghost:" + st.Array
 	for _, sp := range ghostSupplies(s.own, s.id, st.Delta) {
 		vals := unitSlice(arr, dim, sp.Unit)
-		s.ep.Send(sp.To, tag, floatsBytes(len(vals)), SliceMsg{Unit: sp.Unit, RowLo: -1, RowHi: -1, Vals: vals})
+		s.send(sp.To, tag, floatsBytes(len(vals)), SliceMsg{Unit: sp.Unit, RowLo: -1, RowHi: -1, Vals: vals})
 	}
 	for _, g := range ghostNeeds(s.own, s.id, st.Delta) {
-		m := s.ep.Recv(s.own.OwnerOf(g), tag).Data.(SliceMsg)
+		m := s.recvPeer(s.own.OwnerOf(g), tag).Data.(SliceMsg)
 		if m.Unit != g {
 			panic(fmt.Sprintf("slave%d: ghost mismatch: got unit %d, want %d", s.id, m.Unit, g))
 		}
@@ -406,11 +456,14 @@ func (s *slave) execExchange(st *compile.Exchange) {
 // execPipeRecv receives the current strip block's rows of the pipeline
 // ghost unit — values the neighbor computed earlier in this sweep.
 func (s *slave) execPipeRecv(st *compile.PipeRecv) {
+	if s.ff {
+		return
+	}
 	arr := s.inst.Arrays[st.Array]
 	dim := s.exec.Plan.DistArrays[st.Array]
 	tag := "pipe:" + st.Array
 	for _, g := range ghostNeeds(s.own, s.id, st.Delta) {
-		m := s.ep.Recv(s.own.OwnerOf(g), tag).Data.(SliceMsg)
+		m := s.recvPeer(s.own.OwnerOf(g), tag).Data.(SliceMsg)
 		if m.Unit != g || m.RowLo != s.blockLo {
 			panic(fmt.Sprintf("slave%d: pipe mismatch: got unit %d rows [%d,%d), want unit %d rows [%d,%d)",
 				s.id, m.Unit, m.RowLo, m.RowHi, g, s.blockLo, s.blockHi))
@@ -422,18 +475,24 @@ func (s *slave) execPipeRecv(st *compile.PipeRecv) {
 // execPipeSend sends the current strip block's rows of our boundary units
 // to the neighbors that read them next.
 func (s *slave) execPipeSend(st *compile.PipeSend) {
+	if s.ff {
+		return
+	}
 	arr := s.inst.Arrays[st.Array]
 	dim := s.exec.Plan.DistArrays[st.Array]
 	tag := "pipe:" + st.Array
 	for _, sp := range ghostSupplies(s.own, s.id, -st.Delta) {
 		vals := unitSliceRows(arr, dim, sp.Unit, st.RowDim, s.blockLo, s.blockHi)
-		s.ep.Send(sp.To, tag, floatsBytes(len(vals)),
+		s.send(sp.To, tag, floatsBytes(len(vals)),
 			SliceMsg{Unit: sp.Unit, RowLo: s.blockLo, RowHi: s.blockHi, Vals: vals})
 	}
 }
 
 // execBcast broadcasts one unit from its owner to everyone else (§4.6).
 func (s *slave) execBcast(st *compile.Bcast) {
+	if s.ff {
+		return
+	}
 	idx := s.eval(st.Index)
 	if idx < 0 || idx >= s.exec.Units {
 		return
@@ -445,15 +504,15 @@ func (s *slave) execBcast(st *compile.Bcast) {
 	if owner == s.id {
 		vals := unitSlice(arr, dim, idx)
 		for other := 0; other < s.own.Slaves(); other++ {
-			if other == s.id {
+			if other == s.id || !s.peerAlive(other) {
 				continue
 			}
-			s.ep.Send(other, tag, floatsBytes(len(vals)),
+			s.send(other, tag, floatsBytes(len(vals)),
 				SliceMsg{Unit: idx, RowLo: -1, RowHi: -1, Vals: append([]float64(nil), vals...)})
 		}
 		return
 	}
-	m := s.ep.Recv(owner, tag).Data.(SliceMsg)
+	m := s.recvPeer(owner, tag).Data.(SliceMsg)
 	if m.Unit != idx {
 		panic(fmt.Sprintf("slave%d: bcast mismatch: got unit %d, want %d", s.id, m.Unit, idx))
 	}
@@ -475,6 +534,20 @@ func (s *slave) execHook(st *compile.Hook) {
 	if st.Level != s.exec.ActiveLevel {
 		return
 	}
+	if s.ff {
+		// Fast-forward counts hook visits without contacting the master;
+		// the checkpoint already contains the effects of hook ffUntil, so
+		// normal execution resumes immediately after it.
+		hv := s.hookVisit
+		s.hookVisit++
+		if hv == s.ffUntil {
+			s.ff = false
+		}
+		return
+	}
+	if s.ft {
+		s.maybeHeartbeat()
+	}
 	hv := s.hookVisit
 	s.hookVisit++
 	if !s.cfg.DLB || hv != s.nextContact {
@@ -490,6 +563,7 @@ func (s *slave) execHook(st *compile.Hook) {
 		Busy:      busyStart - s.busyMark,
 		MoveCost:  s.lastMove,
 		InterCost: s.lastInter,
+		Epoch:     s.epoch,
 	}
 	s.ep.Send(cluster.MasterID, "status", 64, status)
 	s.unitsDone = 0
@@ -498,13 +572,16 @@ func (s *slave) execHook(st *compile.Hook) {
 	if !s.cfg.Synchronous && s.phase == 0 {
 		wantInstr = false // pipelined: nothing in flight yet
 	}
+	if s.skipInstrOnce {
+		wantInstr = false // ditto right after a recovery epoch restart
+		s.skipInstrOnce = false
+	}
 	if wantInstr {
 		// The interaction cost fed to the period rule (20x bound) is the
 		// CPU overhead of the exchange, not time spent blocked waiting for
 		// the instruction (pipelining exists precisely to hide that wait).
 		s.lastInter = s.ep.Busy() - busyStart
-		instr := s.ep.Recv(cluster.MasterID, "instr").Data.(InstrMsg)
-		s.applyInstr(instr)
+		s.applyInstr(s.recvInstr())
 	} else {
 		s.lastInter = s.ep.Busy() - busyStart
 		// No instruction consumed (first pipelined contact): keep
@@ -513,6 +590,23 @@ func (s *slave) execHook(st *compile.Hook) {
 	}
 	s.phase++
 	s.busyMark = s.ep.Busy()
+	if s.ft {
+		s.maybeCheckpoint(hv)
+	}
+}
+
+// recvInstr blocks for the next instruction of the current epoch.
+func (s *slave) recvInstr() InstrMsg {
+	if !s.ft {
+		return s.ep.Recv(cluster.MasterID, "instr").Data.(InstrMsg)
+	}
+	for {
+		instr := s.recvMaster("instr").Data.(InstrMsg)
+		if instr.Epoch == s.epoch {
+			return instr
+		}
+		// Stale pre-recovery instruction still in flight: drop it.
+	}
 }
 
 // applyInstr updates the active set, executes the work movement this slave
@@ -573,12 +667,12 @@ func (s *slave) applyMove(m core.Move) {
 				w.Ghosts[arr] = gm
 			}
 		}
-		s.ep.Send(m.To, "work", bytes, w)
+		s.send(m.To, "work", bytes, w)
 		if err := s.own.Apply(m); err != nil {
 			panic(fmt.Sprintf("slave%d: %v", s.id, err))
 		}
 	case m.To == s.id:
-		msg := s.ep.Recv(m.From, "work").Data.(WorkMsg)
+		msg := s.recvPeer(m.From, "work").Data.(WorkMsg)
 		for arr, slices := range msg.Data {
 			dim := plan.DistArrays[arr]
 			a := s.inst.Arrays[arr]

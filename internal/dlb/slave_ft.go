@@ -1,0 +1,264 @@
+package dlb
+
+import (
+	"strconv"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// Slave-side fault tolerance. Everything here is inert (s.ft == false) in
+// legacy runs, which stay bit-identical.
+//
+// Epoch scoping: slave-to-slave tags carry an "@<epoch>" suffix, so data
+// that was in flight when a recovery rolled the computation back can never
+// be consumed by the restarted epoch — the receiver's tag no longer
+// matches. Master-bound messages carry an Epoch field instead and are
+// filtered by the receiver.
+
+func (s *slave) peerAlive(o int) bool { return s.alive == nil || s.alive[o] }
+
+func (s *slave) commTag(tag string) string {
+	if !s.ft {
+		return tag
+	}
+	return tag + "@" + strconv.Itoa(s.epoch)
+}
+
+// send is the slave-to-slave send (epoch-scoped tag in FT mode).
+func (s *slave) send(to int, tag string, bytes int, data interface{}) {
+	s.ep.Send(to, s.commTag(tag), bytes, data)
+}
+
+// recvPeer is the slave-to-slave blocking receive.
+func (s *slave) recvPeer(from int, tag string) cluster.Msg {
+	if !s.ft {
+		return s.ep.Recv(from, tag)
+	}
+	return s.recvFT(from, s.commTag(tag))
+}
+
+// recvMaster blocks for a master message of the given tag (FT mode only).
+func (s *slave) recvMaster(tag string) cluster.Msg {
+	return s.recvFT(cluster.MasterID, tag)
+}
+
+// recvFT is the fault-tolerant blocking receive: it polls for the wanted
+// message while watching for master control traffic — an EvictMsg (this
+// slave was declared dead while stalled; die instead of corrupting the
+// recovered epoch) or an AdoptMsg (a recovery epoch restart, which unwinds
+// the execution stack back to the epoch loop). It also emits heartbeats
+// while blocked, so a slave waiting on a slow peer is never mistaken for a
+// crashed one.
+func (s *slave) recvFT(from int, tag string) cluster.Msg {
+	for {
+		if _, ok := s.ep.TryRecv(cluster.AnySource, abortTag); ok {
+			panic("peer process failed") // RunReal only: a peer hit a real bug
+		}
+		if _, ok := s.ep.TryRecv(cluster.MasterID, "evict"); ok {
+			panic(evictExit{})
+		}
+		if m, ok := s.ep.TryRecv(cluster.MasterID, "recover"); ok {
+			panic(epochRestart{m.Data.(AdoptMsg)})
+		}
+		if m, ok := s.ep.TryRecv(from, tag); ok {
+			return m
+		}
+		s.maybeHeartbeat()
+		s.ep.Sleep(pollInterval)
+	}
+}
+
+// maybeHeartbeat sends a sign of life if one is due. Called at hook sites
+// and from blocked-receive poll loops.
+func (s *slave) maybeHeartbeat() {
+	now := s.ep.Now()
+	if now-s.lastHB < s.hbEvery {
+		return
+	}
+	s.lastHB = now
+	s.ep.Send(cluster.MasterID, "hb", 48, HeartbeatMsg{Epoch: s.epoch, Phase: s.phase, HookIndex: s.hookVisit})
+}
+
+// designated reports whether this slave is the lowest-id live slave — the
+// one that ships the shared (replicated) state in its checkpoint part.
+func (s *slave) designated() bool {
+	for o := 0; o < s.slaves; o++ {
+		if s.peerAlive(o) {
+			return o == s.id
+		}
+	}
+	return false
+}
+
+// maybeCheckpoint answers a pending CheckpointRequestMsg. The master sends
+// the request immediately before an InstrMsg, so it surfaces here — right
+// after that instruction was consumed and applied at hook hv — at the same
+// hook on every slave: a consistent cut (no slave-to-slave message is ever
+// in flight across identical schedule positions).
+func (s *slave) maybeCheckpoint(hv int) {
+	for {
+		m, ok := s.ep.TryRecv(cluster.MasterID, "ckptreq")
+		if !ok {
+			return
+		}
+		req := m.Data.(CheckpointRequestMsg)
+		if req.Epoch != s.epoch {
+			continue // stale pre-recovery request
+		}
+		plan := s.exec.Plan
+		ck := CheckpointMsg{
+			Epoch:       s.epoch,
+			Seq:         req.Seq,
+			Slave:       s.id,
+			Hook:        hv,
+			Phase:       s.phase,
+			NextContact: s.nextContact,
+			Owned:       map[string]map[int][]float64{},
+		}
+		bytes := msgHeader
+		for arr, dim := range plan.DistArrays {
+			a := s.inst.Arrays[arr]
+			units := map[int][]float64{}
+			for _, u := range s.own.Owned(s.id) {
+				vals := unitSlice(a, dim, u)
+				units[u] = vals
+				bytes += 8*len(vals) + 16
+			}
+			ck.Owned[arr] = units
+		}
+		// Per-slave reduction state: mid-interval partial accumulations
+		// differ across slaves and must be restored per slave.
+		if len(plan.Reductions) > 0 {
+			ck.Red = map[string][]float64{}
+			for arr := range s.redSnap {
+				vals := append([]float64(nil), s.inst.Arrays[arr].Data...)
+				ck.Red[arr] = vals
+				bytes += 8 * len(vals)
+			}
+		}
+		if s.designated() {
+			ck.Meta = true
+			ck.Slaves = s.own.Slaves()
+			ck.Owner, ck.Active = s.own.Snapshot()
+			bytes += 9 * len(ck.Owner)
+			ck.Replicated = map[string][]float64{}
+			for _, arr := range plan.Replicated {
+				vals := append([]float64(nil), s.inst.Arrays[arr].Data...)
+				ck.Replicated[arr] = vals
+				bytes += 8 * len(vals)
+			}
+			ck.RedSnap = map[string][]float64{}
+			for arr, snap := range s.redSnap {
+				ck.RedSnap[arr] = append([]float64(nil), snap...)
+				bytes += 8 * len(snap)
+			}
+		}
+		s.ep.Send(cluster.MasterID, "ckpt", bytes, ck)
+		return
+	}
+}
+
+// runEpoch executes the step tree once. In FT mode an epochRestart panic —
+// raised by recvFT when a recovery AdoptMsg arrives — is caught here, the
+// checkpoint state is restored, and false is returned so the caller
+// re-enters the tree (fast-forwarding to the checkpoint hook).
+func (s *slave) runEpoch() (completed bool) {
+	if s.ft {
+		defer func() {
+			if r := recover(); r != nil {
+				er, ok := r.(epochRestart)
+				if !ok {
+					panic(r)
+				}
+				s.applyRecover(er.msg)
+			}
+		}()
+	}
+	s.execSteps(s.exec.Plan.Steps)
+	// Announce termination: with data-dependent break conditions the number
+	// of balancing phases is only known here, at run time (§4.1).
+	s.ep.Send(cluster.MasterID, "done", 64, StatusMsg{
+		Phase:     s.phase,
+		HookIndex: s.hookVisit,
+		Done:      true,
+		Epoch:     s.epoch,
+	})
+	if s.ft {
+		// Wait for the master to commit completion: a slave that finished can
+		// still be rolled back (recvFT catches the AdoptMsg) if a peer died
+		// before the master saw every survivor's "done".
+		s.recvMaster("finack")
+	}
+	return true
+}
+
+// applyRecover installs a recovery epoch: restore the checkpointed arrays,
+// ownership and reduction state, adopt the (possibly repaired and grown)
+// membership, and arm the fast-forward that replays control flow up to the
+// checkpoint hook.
+func (s *slave) applyRecover(a AdoptMsg) {
+	plan := s.exec.Plan
+	s.epoch = a.Epoch
+	s.slaves = a.Slaves
+	s.alive = append([]bool(nil), a.Alive...)
+	s.own = core.OwnershipFromMap(a.Owner, a.Active, a.Slaves)
+	s.invalidateOwned()
+
+	for arr := range plan.DistArrays {
+		s.inst.Arrays[arr].Fill(nil)
+	}
+	for arr, units := range a.Owned {
+		dim := plan.DistArrays[arr]
+		for u, vals := range units {
+			setUnitSlice(s.inst.Arrays[arr], dim, u, vals)
+		}
+	}
+	for arr, vals := range a.Replicated {
+		copy(s.inst.Arrays[arr].Data, vals)
+	}
+	// Per-slave reduction values override the shared replicated copy.
+	for arr, vals := range a.Red {
+		copy(s.inst.Arrays[arr].Data, vals)
+	}
+	s.redSnap = map[string][]float64{}
+	for arr, vals := range a.RedSnap {
+		s.redSnap[arr] = append([]float64(nil), vals...)
+	}
+
+	s.phase = a.Phase
+	s.nextContact = a.NextContact
+	s.hookVisit = 0
+	s.ff = a.Hook >= 0
+	s.ffUntil = a.Hook
+	s.skipInstrOnce = !s.cfg.Synchronous && a.Hook >= 0
+	s.unitsDone = 0
+	s.busyMark = s.ep.Busy()
+	s.lastMove, s.lastInter = 0, 0
+	s.blockLo, s.blockHi = 0, 0
+	s.lastHB = s.ep.Now()
+	s.env = map[string]int{}
+	for k, v := range s.exec.Params {
+		s.env[k] = v
+	}
+}
+
+// runJoiner registers this idle node with the master at joinAt and waits
+// for admission (an AdoptMsg folding it into a recovery epoch). It returns
+// false if the run ended first (the master's shutdown EvictMsg).
+func (s *slave) runJoiner() bool {
+	if d := s.joinAt - s.ep.Now(); d > 0 {
+		s.ep.Sleep(d)
+	}
+	s.ep.Send(cluster.MasterID, "join", 64, JoinMsg{Slave: s.id})
+	for {
+		if _, ok := s.ep.TryRecv(cluster.MasterID, "evict"); ok {
+			return false
+		}
+		if m, ok := s.ep.TryRecv(cluster.MasterID, "recover"); ok {
+			s.applyRecover(m.Data.(AdoptMsg))
+			return true
+		}
+		s.ep.Sleep(pollInterval)
+	}
+}

@@ -36,6 +36,14 @@ func init() {
 	gob.Register(dlb.InitMsg{})
 	gob.Register(dlb.GatherMsg{})
 	gob.Register(core.Move{})
+	// Fault-tolerance protocol (heartbeat/eviction/checkpoint/recovery/join).
+	gob.Register(dlb.HeartbeatMsg{})
+	gob.Register(dlb.EvictMsg{})
+	gob.Register(dlb.CheckpointRequestMsg{})
+	gob.Register(dlb.CheckpointMsg{})
+	gob.Register(dlb.JoinMsg{})
+	gob.Register(dlb.AdoptMsg{})
+	gob.Register(dlb.FinAckMsg{})
 }
 
 // Conn sends and receives envelopes over a byte stream with 4-byte

@@ -189,6 +189,72 @@ func TestLargeWorkMessage(t *testing.T) {
 	}
 }
 
+// TestRoundTripFaultMessages covers every fault-tolerance message type:
+// heartbeats, eviction, checkpoint request/part, join, adoption, and the
+// completion commit.
+func TestRoundTripFaultMessages(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	msgs := []Envelope{
+		{Tag: "hb", From: 3, Payload: dlb.HeartbeatMsg{Epoch: 2, Phase: 9, HookIndex: 41}},
+		{Tag: "evict", From: -1, Payload: dlb.EvictMsg{Epoch: 2, Reason: "lease expired"}},
+		{Tag: "ckptreq", From: -1, Payload: dlb.CheckpointRequestMsg{Epoch: 2, Seq: 5}},
+		{Tag: "ckpt", From: 1, Payload: dlb.CheckpointMsg{
+			Epoch: 2, Seq: 5, Slave: 1, Hook: 40, Phase: 8, NextContact: 44,
+			Owned: map[string]map[int][]float64{"b": {12: {1, 2, 3}}},
+			Red:   map[string][]float64{"res": {0.5}},
+			Meta:  true, Slaves: 4,
+			Owner:      []int{0, 0, 1, 1, 2, 2, 3, 3},
+			Active:     []bool{true, true, true, true, true, true, false, false},
+			Replicated: map[string][]float64{"p": {7, 8}},
+			RedSnap:    map[string][]float64{"res": {0.25}},
+		}},
+		{Tag: "join", From: 4, Payload: dlb.JoinMsg{Slave: 4}},
+		{Tag: "recover", From: -1, Payload: dlb.AdoptMsg{
+			Epoch: 3, Seq: 5, Hook: 40, Phase: 8, NextContact: 44, Slaves: 5,
+			Alive:      []bool{true, false, true, true, true},
+			Owner:      []int{0, 0, 2, 2, 3, 3, 4, 4},
+			Active:     []bool{true, true, true, true, true, true, true, true},
+			Owned:      map[string]map[int][]float64{"b": {0: {4, 5}, 2: {6}}},
+			Red:        map[string][]float64{"res": {0.75}},
+			Replicated: map[string][]float64{"p": {7, 8}},
+			RedSnap:    map[string][]float64{"res": {0.25}},
+		}},
+		{Tag: "finack", From: -1, Payload: dlb.FinAckMsg{Epoch: 3}},
+	}
+	for _, m := range msgs {
+		if err := c.Send(m); err != nil {
+			t.Fatalf("send %s: %v", m.Tag, err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %s: %v", want.Tag, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip mismatch:\n got  %#v\n want %#v", got, want)
+		}
+	}
+}
+
+// TestTruncatedFrame asserts a frame cut mid-payload surfaces as a decode
+// error, not a hang or a silent partial message.
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.Send(Envelope{Tag: "hb", From: 0, Payload: dlb.HeartbeatMsg{Epoch: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for _, cut := range []int{3, len(whole) / 2, len(whole) - 1} {
+		trunc := bytes.NewBuffer(append([]byte(nil), whole[:cut]...))
+		if _, err := NewConn(trunc).Recv(); err == nil {
+			t.Fatalf("truncated frame (cut at %d/%d) decoded without error", cut, len(whole))
+		}
+	}
+}
+
 func TestFrameLimit(t *testing.T) {
 	f := &framed{rw: &bytes.Buffer{}}
 	if _, err := f.Write(make([]byte, maxFrame+1)); err == nil {

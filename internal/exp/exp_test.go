@@ -363,3 +363,45 @@ func rel(a, b float64) float64 {
 	}
 	return d
 }
+
+func TestFaultTolerance(t *testing.T) {
+	rows, err := FaultTolerance(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]FaultRow{}
+	for _, r := range rows {
+		byKey[r.App+"/"+r.Scenario] = r
+	}
+	for key, r := range byKey {
+		if r.MaxDiff != 0 {
+			t.Errorf("%s: result differs from sequential reference by %g", key, r.MaxDiff)
+		}
+	}
+	free, crash := byKey["mm/fault-free"], byKey["mm/crash @30s"]
+	if crash.Recoveries < 1 || crash.Evicted != 1 {
+		t.Errorf("mm crash: recoveries=%d evicted=%d, want >=1 and 1", crash.Recoveries, crash.Evicted)
+	}
+	// Acceptance bound: losing a slave near the end of the run costs less
+	// than 25% of the fault-free efficiency.
+	if loss := (free.Eff - crash.Eff) / free.Eff; loss >= 0.25 {
+		t.Errorf("mm crash efficiency loss %.1f%% (free %.3f, crash %.3f), want <25%%",
+			loss*100, free.Eff, crash.Eff)
+	}
+	if r := byKey["mm/stall 1s @20s (tolerated)"]; r.Recoveries != 0 || r.Evicted != 0 {
+		t.Errorf("tolerated stall: recoveries=%d evicted=%d, want 0/0", r.Recoveries, r.Evicted)
+	}
+	if r := byKey["mm/stall 20s @20s (evicted)"]; r.Recoveries < 1 || r.Evicted != 1 {
+		t.Errorf("evicting stall: recoveries=%d evicted=%d, want >=1 and 1", r.Recoveries, r.Evicted)
+	}
+	if r := byKey["mm/join @10s"]; r.Joined != 1 {
+		t.Errorf("join: joined=%d, want 1", r.Joined)
+	}
+	if r := byKey["sor/crash @30s"]; r.Recoveries < 1 || r.Evicted != 1 {
+		t.Errorf("sor crash: recoveries=%d evicted=%d, want >=1 and 1", r.Recoveries, r.Evicted)
+	}
+	out := RenderFaultTolerance(rows)
+	if !strings.Contains(out, "crash @30s") || !strings.Contains(out, "maxdiff") {
+		t.Errorf("render missing expected columns:\n%s", out)
+	}
+}

@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"sort"
+	"time"
+)
+
+// Injector answers, for a given slave and a given time since run start,
+// whether a scheduled fault takes effect. It is a pure function of the
+// Plan, so the simulated runtime stays a deterministic function of its
+// inputs; the wall-clock runtime consults the same schedule against real
+// timers. Each slave's runtime endpoint checks the injector at every
+// operation (compute charge, send, receive), which gives crash semantics
+// of "halts at the first operation at or after the scheduled time".
+type Injector struct {
+	crash  map[int]time.Duration
+	stalls map[int][]window
+	drops  map[int][]window
+}
+
+type window struct{ from, to time.Duration }
+
+// NewInjector compiles a plan into per-slave fault schedules. A nil plan
+// yields an injector that never faults.
+func NewInjector(p *Plan) *Injector {
+	inj := &Injector{
+		crash:  map[int]time.Duration{},
+		stalls: map[int][]window{},
+		drops:  map[int][]window{},
+	}
+	if p == nil {
+		return inj
+	}
+	for _, e := range p.Events {
+		switch e.Kind {
+		case Crash:
+			if t, ok := inj.crash[e.Slave]; !ok || e.At < t {
+				inj.crash[e.Slave] = e.At
+			}
+		case Stall:
+			inj.stalls[e.Slave] = append(inj.stalls[e.Slave], window{e.At, e.At + e.Duration})
+		case LinkDrop:
+			inj.drops[e.Slave] = append(inj.drops[e.Slave], window{e.At, e.At + e.Duration})
+		}
+	}
+	for _, m := range []map[int][]window{inj.stalls, inj.drops} {
+		for s, ws := range m {
+			sort.Slice(ws, func(i, j int) bool { return ws[i].from < ws[j].from })
+			m[s] = ws
+		}
+	}
+	return inj
+}
+
+// Empty reports whether the injector schedules no node faults at all
+// (joins are handled separately by the runtime).
+func (inj *Injector) Empty() bool {
+	return len(inj.crash) == 0 && len(inj.stalls) == 0 && len(inj.drops) == 0
+}
+
+// Crashed reports whether the slave's crash time has passed.
+func (inj *Injector) Crashed(slave int, now time.Duration) bool {
+	t, ok := inj.crash[slave]
+	return ok && now >= t
+}
+
+// StallUntil returns the end of a stall window covering now, or 0 if the
+// slave is not stalled at now.
+func (inj *Injector) StallUntil(slave int, now time.Duration) time.Duration {
+	for _, w := range inj.stalls[slave] {
+		if now >= w.from && now < w.to {
+			return w.to
+		}
+		if w.from > now {
+			break
+		}
+	}
+	return 0
+}
+
+// LinkDown reports whether the slave's network link is dropped at now.
+// A message is lost when the link of either its sender or its receiver is
+// down.
+func (inj *Injector) LinkDown(slave int, now time.Duration) bool {
+	for _, w := range inj.drops[slave] {
+		if now >= w.from && now < w.to {
+			return true
+		}
+		if w.from > now {
+			break
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// LogKind classifies a runtime fault-handling event.
+type LogKind string
+
+const (
+	LogCrash      LogKind = "crash"      // injected crash took effect
+	LogStall      LogKind = "stall"      // injected stall window entered
+	LogEvict      LogKind = "evict"      // master declared a slave dead
+	LogCheckpoint LogKind = "checkpoint" // master committed a checkpoint
+	LogRecover    LogKind = "recover"    // recovery epoch started
+	LogJoin       LogKind = "join"       // a new node registered
+	LogAdopt      LogKind = "adopt"      // a joiner was admitted
+)
+
+// LogEvent is one entry of the deterministic fault-handling trace. Under
+// the simulated cluster the sequence of events (kinds, slaves, virtual
+// timestamps) is a pure function of the run's inputs, which the
+// determinism tests assert.
+type LogEvent struct {
+	At    time.Duration
+	Kind  LogKind
+	Slave int // -1 when not slave-specific
+	// Detail carries event-specific values (checkpoint hook, epoch, ...).
+	Detail string
+}
+
+func (e LogEvent) String() string {
+	if e.Slave >= 0 {
+		return fmt.Sprintf("%8.2fs %-10s slave %d %s", e.At.Seconds(), e.Kind, e.Slave, e.Detail)
+	}
+	return fmt.Sprintf("%8.2fs %-10s %s", e.At.Seconds(), e.Kind, e.Detail)
+}
+
+// Log accumulates fault-handling events in order.
+type Log struct {
+	Events []LogEvent
+}
+
+// Add appends an event.
+func (l *Log) Add(at time.Duration, kind LogKind, slave int, format string, args ...interface{}) {
+	if l == nil {
+		return
+	}
+	l.Events = append(l.Events, LogEvent{At: at, Kind: kind, Slave: slave, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Count returns the number of events of the given kind.
+func (l *Log) Count(kind LogKind) int {
+	n := 0
+	for _, e := range l.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the trace, one event per line.
+func (l *Log) String() string {
+	var b strings.Builder
+	for _, e := range l.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
