@@ -9,7 +9,7 @@
 //	dlbbench -out results/    # write <name>.txt (and fig9.csv) files
 //
 // Experiments: table1 fig5 fig6 fig7 fig8 fig9 pipeline grain refinements
-// lu baselines hetero fault
+// lu baselines hetero fault net
 package main
 
 import (
@@ -35,7 +35,7 @@ type artifact struct {
 }
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run (table1, fig5..fig9, pipeline, grain, refinements, lu, baselines, hetero, fault, all)")
+	which := flag.String("exp", "all", "experiment to run (table1, fig5..fig9, pipeline, grain, refinements, lu, baselines, hetero, fault, net, all)")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	out := flag.String("out", "", "directory to write artifacts to (default: stdout)")
 	flag.Parse()
@@ -140,6 +140,13 @@ func main() {
 			fail(err)
 		}
 		add("fault", exp.RenderFaultTolerance(rows))
+	}
+	if want("net") {
+		rows, err := exp.NetOverhead(scale)
+		if err != nil {
+			fail(err)
+		}
+		add("net", exp.RenderNetOverhead(rows))
 	}
 	if len(artifacts) == 0 {
 		fail(fmt.Errorf("unknown experiment %q", *which))

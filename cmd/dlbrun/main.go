@@ -5,6 +5,11 @@
 // Usage:
 //
 //	dlbrun -prog mm -n 192 -slaves 4 -load const:1 [-nodlb] [-sync] [-trace]
+//	dlbrun -prog mm -n 256 -slaves 127.0.0.1:7101,127.0.0.1:7102   # distributed
+//
+// -slaves takes either a count (simulated cluster or, with -real, goroutine
+// workers) or a comma-separated list of dlbd daemon addresses, which runs
+// the master over real TCP against separate slave processes (see cmd/dlbd).
 //
 // Load scenarios: none | const:<tasks> | wave:<periodSec>:<onSec>:<tasks>
 // (applied to slave 0; other slaves stay dedicated).
@@ -26,6 +31,7 @@ import (
 	"repro/internal/lang"
 	"repro/internal/loopir"
 	"repro/internal/metrics"
+	"repro/internal/netrun"
 	"repro/internal/trace"
 )
 
@@ -70,7 +76,9 @@ func main() {
 	distFlag := flag.String("dist", "", "distribution directive array:dim[,array:dim] (for -file; default: automatic)")
 	n := flag.Int("n", 128, "problem size")
 	maxiter := flag.Int("maxiter", 12, "outer iterations (sor, jacobi, axpy)")
-	slaves := flag.Int("slaves", 4, "number of slave workstations")
+	slavesFlag := flag.String("slaves", "4", "slave count, or comma-separated dlbd addresses for a distributed TCP run")
+	listen := flag.String("listen", "127.0.0.1:0", "distributed runs: master join/reconnect listener address")
+	extra := flag.Int("extra", 0, "distributed runs: joiner slots beyond the initial membership")
 	loadSpec := flag.String("load", "none", "competing load on slave 0: none | const:N | wave:period:on:N")
 	nodlb := flag.Bool("nodlb", false, "disable dynamic load balancing (static distribution)")
 	sync := flag.Bool("sync", false, "synchronous master interactions instead of pipelined")
@@ -85,6 +93,19 @@ func main() {
 	ckptMax := flag.Duration("ckpt-max", 0, "maximum checkpoint interval (with -fault; 0: default)")
 	ckptOff := flag.Bool("ckpt-off", false, "disable periodic checkpoints (recovery restarts from the initial distribution)")
 	flag.Parse()
+
+	// -slaves is a count, or a host:port list selecting the TCP runtime.
+	var netAddrs []string
+	slaves := 0
+	if strings.Contains(*slavesFlag, ":") {
+		netAddrs = strings.Split(*slavesFlag, ",")
+		slaves = len(netAddrs)
+	} else {
+		var err error
+		if slaves, err = strconv.Atoi(*slavesFlag); err != nil {
+			fail(fmt.Errorf("bad -slaves %q: count or host:port,... expected", *slavesFlag))
+		}
+	}
 
 	var prog *loopir.Program
 	var spec depend.DistSpec
@@ -161,13 +182,22 @@ func main() {
 		cfg.Ckpt = fault.CkptPolicy{MinInterval: *ckptMin, MaxInterval: *ckptMax, Disable: *ckptOff}
 	}
 	var res *dlb.Result
-	if *real {
+	switch {
+	case netAddrs != nil:
+		res, err = netrun.RunMaster(cfg, netAddrs, netrun.MasterOptions{
+			Listen:     *listen,
+			ExtraSlots: *extra,
+			Logf: func(format string, args ...interface{}) {
+				fmt.Fprintf(os.Stderr, "dlbrun: "+format+"\n", args...)
+			},
+		})
+	case *real:
 		if *drag > 1 {
 			cfg.RealDrag = []float64{*drag}
 		}
-		res, err = dlb.RunReal(cfg, *slaves)
-	} else {
-		cc := cluster.Config{Slaves: *slaves, Load: []cluster.LoadProfile{load}}
+		res, err = dlb.RunReal(cfg, slaves)
+	default:
+		cc := cluster.Config{Slaves: slaves, Load: []cluster.LoadProfile{load}}
 		res, err = dlb.Run(cfg, cc)
 	}
 	if err != nil {
@@ -177,9 +207,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if *real {
-		// In real mode the baseline is a timed sequential run, not the
-		// calibrated virtual one.
+	wall := *real || netAddrs != nil
+	if wall {
+		// In real and distributed modes the baseline is a timed sequential
+		// run, not the calibrated virtual one.
 		inst, err := loopir.NewInstance(plan.Prog, params)
 		if err != nil {
 			fail(err)
@@ -202,19 +233,26 @@ func main() {
 	}
 
 	kind := "simulated workstations"
-	if *real {
+	switch {
+	case netAddrs != nil:
+		kind = "slave processes over TCP (wall clock)"
+	case *real:
 		kind = "real goroutine workers (wall clock)"
 	}
 	fmt.Printf("%s n=%d on %d %s (load %s, dlb=%v)\n",
-		prog.Name, *n, *slaves, kind, *loadSpec, !*nodlb)
+		prog.Name, *n, slaves, kind, *loadSpec, !*nodlb)
 	unit := "virtual"
-	if *real {
+	if wall {
 		unit = "wall"
 	}
 	fmt.Printf("  sequential (%s):  %8.2fs\n", unit, seq.Seconds())
 	fmt.Printf("  parallel   (%s):  %8.2fs\n", unit, res.Elapsed.Seconds())
 	fmt.Printf("  speedup:               %8.2f\n", metrics.Speedup(seq, res.Elapsed))
-	fmt.Printf("  efficiency:            %8.3f\n", metrics.Efficiency(seq, res.Elapsed, res.Usage))
+	if netAddrs == nil {
+		// Per-slave busy time is process-local in the distributed runtime;
+		// the master cannot aggregate it, so no efficiency figure there.
+		fmt.Printf("  efficiency:            %8.3f\n", metrics.Efficiency(seq, res.Elapsed, res.Usage))
+	}
 	fmt.Printf("  LB phases: %d, moves: %d (%d units), strip grain: %d\n",
 		res.Phases, res.Moves, res.UnitsMoved, res.Grain)
 	fmt.Printf("  result vs sequential reference: max |diff| = %g\n", worst)
@@ -239,7 +277,7 @@ func main() {
 		if maxRate == 0 {
 			maxRate = 1
 		}
-		even := float64(res.Exec.Units) / float64(*slaves)
+		even := float64(res.Exec.Units) / float64(slaves)
 		for _, s := range res.Trace {
 			if s.Slave != 0 {
 				continue

@@ -497,3 +497,15 @@ func TestCompileRejectsBreakOnDistributedLoop(t *testing.T) {
 		t.Fatalf("break on distributed loop accepted: %v", err)
 	}
 }
+
+// The distributed runtime fingerprints compiled plans (master and slave
+// compile independently and compare hashes), so two compilations of the
+// same program must render byte-identical sources.
+func TestRenderPlanDeterministic(t *testing.T) {
+	first := mustCompile(t, loopir.Library()["mm"], Options{Dist: specMM()}).Source
+	for i := 0; i < 20; i++ {
+		if src := mustCompile(t, loopir.Library()["mm"], Options{Dist: specMM()}).Source; src != first {
+			t.Fatalf("compilation %d rendered a different source:\n--- first\n%s\n--- now\n%s", i, first, src)
+		}
+	}
+}

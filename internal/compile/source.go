@@ -2,6 +2,7 @@ package compile
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/loopir"
@@ -13,8 +14,13 @@ func RenderPlan(p *Plan) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "/* generated SPMD program for %s */\n", p.Prog.Name)
 	fmt.Fprintf(&sb, "/* distributed:")
-	for arr, dim := range p.DistArrays {
-		fmt.Fprintf(&sb, " %s(dim %d)", arr, dim)
+	arrs := make([]string, 0, len(p.DistArrays))
+	for arr := range p.DistArrays {
+		arrs = append(arrs, arr)
+	}
+	sort.Strings(arrs)
+	for _, arr := range arrs {
+		fmt.Fprintf(&sb, " %s(dim %d)", arr, p.DistArrays[arr])
 	}
 	if len(p.Replicated) > 0 {
 		fmt.Fprintf(&sb, "; replicated: %s", strings.Join(p.Replicated, ", "))

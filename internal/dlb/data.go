@@ -36,6 +36,12 @@ type InstrMsg struct {
 	Moves     []core.Move
 	SkipHooks int
 	Epoch     int // recovery epoch (fault-tolerant runs); stale instrs are dropped
+	// CkptSeq pairs this instruction with the CheckpointRequestMsg sent
+	// immediately before it (0: none). The slave answers exactly that
+	// request after applying this instruction; matching by sequence — not
+	// just mailbox order — keeps the cut consistent even when the master
+	// races a full round ahead of a descheduled slave process.
+	CkptSeq int
 }
 
 // WorkMsg carries moved work units' data plus the ghost slices adjacent to

@@ -1,0 +1,180 @@
+package dlb
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/loopir"
+)
+
+// This file is the plumbing that lets an external transport — most
+// importantly the TCP runtime in internal/netrun — drive the master and
+// slave loops over its own Endpoint implementation. Run and RunReal stay
+// the in-process entry points; RunMasterOn/RunSlaveOn expose the identical
+// protocol code to endpoints whose processes live in different address
+// spaces.
+
+// AbortTag is the fail-fast marker a dying process broadcasts so peers
+// blocked on it error out instead of deadlocking. Transports reuse it for
+// the same purpose across process boundaries.
+const AbortTag = abortTag
+
+// Terminal slave outcomes a transport must distinguish from bugs: an
+// injected crash (the process is scheduled to die) and an eviction (the
+// master recovered past this slave; a zombie must not rejoin its epoch).
+var (
+	ErrInjectedCrash = errors.New("dlb: slave halted by injected crash")
+	ErrEvicted       = errors.New("dlb: slave evicted by master")
+)
+
+// Prepared is the instantiation both sides of a distributed run must agree
+// on: the same plan, parameters, and strip-mining grain yield the same
+// phase schedule everywhere.
+type Prepared struct {
+	Exec  *compile.Exec
+	Grain int
+}
+
+// Prepare instantiates cfg.Plan for a real (wall-clock) environment with
+// the startup grain measurement RunReal uses: time one strip row, size
+// blocks to GrainFactor × RealQuantum (§4.4). cfg.ForcedGrain overrides
+// the measurement — the master ships its computed grain to slaves, which
+// re-instantiate with exactly that value.
+func Prepare(cfg Config, slaves int) (*Prepared, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Plan == nil {
+		return nil, fmt.Errorf("dlb: no plan")
+	}
+	if slaves < 1 {
+		return nil, fmt.Errorf("dlb: need at least one slave")
+	}
+	probe, err := cfg.Plan.Instantiate(cfg.Params, 1, cfg.CompileOpts)
+	if err != nil {
+		return nil, err
+	}
+	grain := 1
+	if cfg.Plan.StripMined {
+		if cfg.ForcedGrain > 0 {
+			grain = cfg.ForcedGrain
+		} else {
+			rowCost, err := measureRealRow(cfg.Plan, cfg.Params, probe, slaves)
+			if err != nil {
+				return nil, err
+			}
+			q := cfg.RealQuantum
+			if q <= 0 {
+				q = 10 * time.Millisecond
+			}
+			grain = core.GrainSize(rowCost, q, cfg.GrainFactor)
+		}
+	}
+	exec, err := cfg.Plan.Instantiate(cfg.Params, grain, cfg.CompileOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{Exec: exec, Grain: grain}, nil
+}
+
+// RunMasterOn drives the fault-tolerant master over an arbitrary endpoint.
+// initial is the starting membership; total additionally counts joiner
+// slots the transport may admit mid-run (ids initial..total-1). The run is
+// always fault-tolerant — on a transport that can lose connections, the
+// heartbeat-lease detector is what turns a dead link into an eviction
+// instead of a deadlock — so cfg.DLB must be set (hooks are the heartbeat
+// and checkpoint substrate). A nil cfg.Fault arms detection, checkpointing
+// and elastic join without injecting anything; scheduled Join events are
+// ignored here (the transport owns admission).
+func RunMasterOn(ep Endpoint, cfg Config, cc cluster.Config, initial, total int, pre *Prepared) (res *Result, err error) {
+	cfg = cfg.withDefaults()
+	if !cfg.DLB {
+		return nil, fmt.Errorf("dlb: transport-driven runs require DLB (hooks are the heartbeat and checkpoint substrate)")
+	}
+	if total < initial {
+		total = initial
+	}
+	if cfg.Fault == nil {
+		cfg.Fault = &fault.Plan{}
+	}
+	if err := cfg.Fault.Validate(); err != nil {
+		return nil, err
+	}
+	masterInst, err := loopir.NewInstance(cfg.Plan.Prog, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	flog := &fault.Log{}
+	r := &Result{Exec: pre.Exec, Grain: pre.Grain, FaultLog: flog}
+	mft := &masterFT{
+		cfg:     &cfg,
+		cc:      cc,
+		initial: initial,
+		total:   total,
+		exec:    pre.Exec,
+		inst:    masterInst,
+		res:     r,
+		grain:   pre.Grain,
+		log:     flog,
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("dlb: master: %v", p)
+		}
+	}()
+	start := ep.Now()
+	mft.runOn(ep)
+	if mft.err != nil {
+		return nil, mft.err
+	}
+	r.Elapsed = ep.Now() - start
+	r.Final = mft.final
+	r.ComputeElapsed = mft.computeEnd - mft.computeStart
+	return r, nil
+}
+
+// RunSlaveOn drives one slave over an arbitrary endpoint. id is this
+// slave's node id and slaves the initial membership size; a joiner
+// registers with the master immediately and waits for admission. cfg.Fault
+// events targeting this id are injected through the endpoint exactly as in
+// Run/RunReal. Returns nil on a completed run, ErrInjectedCrash or
+// ErrEvicted for deliberate deaths, and lets genuine bugs panic through to
+// the caller.
+func RunSlaveOn(ep Endpoint, cfg Config, id, slaves int, joiner bool, pre *Prepared) (err error) {
+	cfg = cfg.withDefaults()
+	if id < 0 || slaves < 1 {
+		return fmt.Errorf("dlb: bad slave id %d of %d", id, slaves)
+	}
+	if cfg.Fault == nil {
+		cfg.Fault = &fault.Plan{}
+	}
+	hbEvery := fault.NewDetector(cfg.Detect, 1).Config().HeartbeatEvery
+	s := &slave{
+		id:      id,
+		slaves:  slaves,
+		cfg:     &cfg,
+		exec:    pre.Exec,
+		grain:   pre.Grain,
+		ft:      true,
+		hbEvery: hbEvery,
+		joiner:  joiner,
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			switch p.(type) {
+			case crashExit:
+				err = ErrInjectedCrash
+			case evictExit:
+				err = ErrEvicted
+			default:
+				panic(p)
+			}
+		}
+	}()
+	inj := fault.NewInjector(cfg.Fault)
+	s.runOn(newFaultEP(ep, id, inj, nil))
+	return nil
+}

@@ -37,15 +37,36 @@ type Endpoint interface {
 	Sleep(d time.Duration)
 }
 
-// pollInterval is the backoff of poll-based receive loops (fault-tolerant
-// mode). On the simulated cluster polling is deterministic: TryRecv plus a
-// fixed virtual-time sleep.
+// pollInterval is the default backoff of poll-based receive loops
+// (fault-tolerant mode). On the simulated cluster polling is deterministic:
+// TryRecv plus a fixed virtual-time sleep. Endpoints with different idle
+// economics (e.g. the TCP transport, whose Sleep wakes early on message
+// arrival and so can afford a much coarser interval) override it via
+// PollTuner.
 const pollInterval = time.Millisecond
+
+// PollTuner is an optional Endpoint extension supplying the backoff used
+// by poll-based receive loops on that endpoint. A non-positive value falls
+// back to the default.
+type PollTuner interface {
+	PollInterval() time.Duration
+}
+
+// pollIntervalOf resolves the poll backoff for an endpoint.
+func pollIntervalOf(ep Endpoint) time.Duration {
+	if t, ok := ep.(PollTuner); ok {
+		if d := t.PollInterval(); d > 0 {
+			return d
+		}
+	}
+	return pollInterval
+}
 
 // recvTimeout polls for a matching message until the timeout elapses. A
 // non-positive timeout checks exactly once.
 func recvTimeout(ep Endpoint, from int, tag string, timeout time.Duration) (cluster.Msg, bool) {
 	deadline := ep.Now() + timeout
+	poll := pollIntervalOf(ep)
 	for {
 		if m, ok := ep.TryRecv(from, tag); ok {
 			return m, true
@@ -54,7 +75,7 @@ func recvTimeout(ep Endpoint, from int, tag string, timeout time.Duration) (clus
 		if now >= deadline {
 			return cluster.Msg{}, false
 		}
-		d := pollInterval
+		d := poll
 		if deadline-now < d {
 			d = deadline - now
 		}

@@ -112,3 +112,10 @@ func (e *faultEP) Sleep(d time.Duration) {
 	}
 	e.Endpoint.Sleep(d)
 }
+
+// PollInterval forwards the wrapped endpoint's poll tuning (interface
+// embedding would hide it: the embedded Endpoint's method set does not
+// include optional extensions).
+func (e *faultEP) PollInterval() time.Duration {
+	return pollIntervalOf(e.Endpoint)
+}

@@ -488,17 +488,19 @@ func (m *masterFT) handleRound(raw map[int]StatusMsg) {
 	// only ride on rounds whose instruction the slaves actually consume —
 	// pipelined phase 0 and the first post-recovery contact are skipped.
 	consumed := m.cfg.Synchronous || (phase > 0 && (m.epochRounds > 0 || m.ck.Hook < 0))
+	ckptSeq := 0
 	if consumed && m.pending == nil && m.doneCount == 0 &&
 		(m.wantCkpt || m.pol.Should(now, m.lastCkptAt, m.ckptCost)) {
 		m.seq++
 		m.wantCkpt = false
 		m.pending = &pendingCkpt{seq: m.seq, want: ids, parts: map[int]CheckpointMsg{}}
+		ckptSeq = m.seq
 		for _, id := range ids {
 			m.ep.Send(id, "ckptreq", 48, CheckpointRequestMsg{Epoch: m.epoch, Seq: m.seq})
 		}
 	}
 
-	instr := InstrMsg{Phase: phase, HookIndex: hookIdx, Moves: d.Moves, SkipHooks: d.SkipHooks, Epoch: m.epoch}
+	instr := InstrMsg{Phase: phase, HookIndex: hookIdx, Moves: d.Moves, SkipHooks: d.SkipHooks, Epoch: m.epoch, CkptSeq: ckptSeq}
 	bytes := 64
 	for _, mv := range d.Moves {
 		bytes += 16 + 8*len(mv.Units)

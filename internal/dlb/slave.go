@@ -576,12 +576,15 @@ func (s *slave) execHook(st *compile.Hook) {
 		wantInstr = false // ditto right after a recovery epoch restart
 		s.skipInstrOnce = false
 	}
+	ckptSeq := 0
 	if wantInstr {
 		// The interaction cost fed to the period rule (20x bound) is the
 		// CPU overhead of the exchange, not time spent blocked waiting for
 		// the instruction (pipelining exists precisely to hide that wait).
 		s.lastInter = s.ep.Busy() - busyStart
-		s.applyInstr(s.recvInstr())
+		instr := s.recvInstr()
+		s.applyInstr(instr)
+		ckptSeq = instr.CkptSeq
 	} else {
 		s.lastInter = s.ep.Busy() - busyStart
 		// No instruction consumed (first pipelined contact): keep
@@ -591,7 +594,7 @@ func (s *slave) execHook(st *compile.Hook) {
 	s.phase++
 	s.busyMark = s.ep.Busy()
 	if s.ft {
-		s.maybeCheckpoint(hv)
+		s.maybeCheckpoint(hv, ckptSeq)
 	}
 }
 

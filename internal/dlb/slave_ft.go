@@ -51,6 +51,7 @@ func (s *slave) recvMaster(tag string) cluster.Msg {
 // while blocked, so a slave waiting on a slow peer is never mistaken for a
 // crashed one.
 func (s *slave) recvFT(from int, tag string) cluster.Msg {
+	poll := pollIntervalOf(s.ep)
 	for {
 		if _, ok := s.ep.TryRecv(cluster.AnySource, abortTag); ok {
 			panic("peer process failed") // RunReal only: a peer hit a real bug
@@ -65,7 +66,7 @@ func (s *slave) recvFT(from int, tag string) cluster.Msg {
 			return m
 		}
 		s.maybeHeartbeat()
-		s.ep.Sleep(pollInterval)
+		s.ep.Sleep(poll)
 	}
 }
 
@@ -91,72 +92,80 @@ func (s *slave) designated() bool {
 	return false
 }
 
-// maybeCheckpoint answers a pending CheckpointRequestMsg. The master sends
-// the request immediately before an InstrMsg, so it surfaces here — right
-// after that instruction was consumed and applied at hook hv — at the same
-// hook on every slave: a consistent cut (no slave-to-slave message is ever
-// in flight across identical schedule positions).
-func (s *slave) maybeCheckpoint(hv int) {
-	for {
-		m, ok := s.ep.TryRecv(cluster.MasterID, "ckptreq")
-		if !ok {
-			return
-		}
-		req := m.Data.(CheckpointRequestMsg)
-		if req.Epoch != s.epoch {
-			continue // stale pre-recovery request
-		}
-		plan := s.exec.Plan
-		ck := CheckpointMsg{
-			Epoch:       s.epoch,
-			Seq:         req.Seq,
-			Slave:       s.id,
-			Hook:        hv,
-			Phase:       s.phase,
-			NextContact: s.nextContact,
-			Owned:       map[string]map[int][]float64{},
-		}
-		bytes := msgHeader
-		for arr, dim := range plan.DistArrays {
-			a := s.inst.Arrays[arr]
-			units := map[int][]float64{}
-			for _, u := range s.own.Owned(s.id) {
-				vals := unitSlice(a, dim, u)
-				units[u] = vals
-				bytes += 8*len(vals) + 16
-			}
-			ck.Owned[arr] = units
-		}
-		// Per-slave reduction state: mid-interval partial accumulations
-		// differ across slaves and must be restored per slave.
-		if len(plan.Reductions) > 0 {
-			ck.Red = map[string][]float64{}
-			for arr := range s.redSnap {
-				vals := append([]float64(nil), s.inst.Arrays[arr].Data...)
-				ck.Red[arr] = vals
-				bytes += 8 * len(vals)
-			}
-		}
-		if s.designated() {
-			ck.Meta = true
-			ck.Slaves = s.own.Slaves()
-			ck.Owner, ck.Active = s.own.Snapshot()
-			bytes += 9 * len(ck.Owner)
-			ck.Replicated = map[string][]float64{}
-			for _, arr := range plan.Replicated {
-				vals := append([]float64(nil), s.inst.Arrays[arr].Data...)
-				ck.Replicated[arr] = vals
-				bytes += 8 * len(vals)
-			}
-			ck.RedSnap = map[string][]float64{}
-			for arr, snap := range s.redSnap {
-				ck.RedSnap[arr] = append([]float64(nil), snap...)
-				bytes += 8 * len(snap)
-			}
-		}
-		s.ep.Send(cluster.MasterID, "ckpt", bytes, ck)
+// maybeCheckpoint answers the CheckpointRequestMsg paired with the
+// instruction just consumed and applied at hook hv (wantSeq, from
+// InstrMsg.CkptSeq; 0 means none rode with it). Every slave consumes the
+// paired instruction at the same hook visit, so answering exactly that
+// request — rather than whatever request happens to be in the mailbox —
+// yields a consistent cut (no slave-to-slave message is ever in flight
+// across identical schedule positions) even when the master has already
+// raced ahead and issued the next round's request before this process was
+// scheduled. FIFO delivery puts the request ahead of its instruction, so a
+// wanted request is already present; absence would be a transport-ordering
+// bug, surfaced by the blocking poll below rather than a corrupt snapshot.
+func (s *slave) maybeCheckpoint(hv, wantSeq int) {
+	if wantSeq == 0 {
 		return
 	}
+	var req CheckpointRequestMsg
+	for {
+		// recvFT keeps heartbeats flowing and honors evict/recover while
+		// waiting (the wanted request is normally already in the mailbox).
+		req = s.recvMaster("ckptreq").Data.(CheckpointRequestMsg)
+		if req.Epoch == s.epoch && req.Seq == wantSeq {
+			break
+		}
+		// Stale pre-recovery or superseded request: drop and keep waiting.
+	}
+	plan := s.exec.Plan
+	ck := CheckpointMsg{
+		Epoch:       s.epoch,
+		Seq:         req.Seq,
+		Slave:       s.id,
+		Hook:        hv,
+		Phase:       s.phase,
+		NextContact: s.nextContact,
+		Owned:       map[string]map[int][]float64{},
+	}
+	bytes := msgHeader
+	for arr, dim := range plan.DistArrays {
+		a := s.inst.Arrays[arr]
+		units := map[int][]float64{}
+		for _, u := range s.own.Owned(s.id) {
+			vals := unitSlice(a, dim, u)
+			units[u] = vals
+			bytes += 8*len(vals) + 16
+		}
+		ck.Owned[arr] = units
+	}
+	// Per-slave reduction state: mid-interval partial accumulations
+	// differ across slaves and must be restored per slave.
+	if len(plan.Reductions) > 0 {
+		ck.Red = map[string][]float64{}
+		for arr := range s.redSnap {
+			vals := append([]float64(nil), s.inst.Arrays[arr].Data...)
+			ck.Red[arr] = vals
+			bytes += 8 * len(vals)
+		}
+	}
+	if s.designated() {
+		ck.Meta = true
+		ck.Slaves = s.own.Slaves()
+		ck.Owner, ck.Active = s.own.Snapshot()
+		bytes += 9 * len(ck.Owner)
+		ck.Replicated = map[string][]float64{}
+		for _, arr := range plan.Replicated {
+			vals := append([]float64(nil), s.inst.Arrays[arr].Data...)
+			ck.Replicated[arr] = vals
+			bytes += 8 * len(vals)
+		}
+		ck.RedSnap = map[string][]float64{}
+		for arr, snap := range s.redSnap {
+			ck.RedSnap[arr] = append([]float64(nil), snap...)
+			bytes += 8 * len(snap)
+		}
+	}
+	s.ep.Send(cluster.MasterID, "ckpt", bytes, ck)
 }
 
 // runEpoch executes the step tree once. In FT mode an epochRestart panic —
@@ -251,6 +260,7 @@ func (s *slave) runJoiner() bool {
 		s.ep.Sleep(d)
 	}
 	s.ep.Send(cluster.MasterID, "join", 64, JoinMsg{Slave: s.id})
+	poll := pollIntervalOf(s.ep)
 	for {
 		if _, ok := s.ep.TryRecv(cluster.MasterID, "evict"); ok {
 			return false
@@ -259,6 +269,6 @@ func (s *slave) runJoiner() bool {
 			s.applyRecover(m.Data.(AdoptMsg))
 			return true
 		}
-		s.ep.Sleep(pollInterval)
+		s.ep.Sleep(poll)
 	}
 }

@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/dlb"
+)
+
+// FuzzDecode feeds arbitrary bytes to the frame decoder. The decoder must
+// terminate with a clean error (or a decoded envelope) on every input —
+// never panic, hang, or allocate past the frame limit.
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: valid frames of representative messages, a truncation,
+	// an oversized length prefix, and a length prefix with no payload.
+	valid := func(e Envelope) []byte {
+		var buf bytes.Buffer
+		if err := NewConn(&buf).Send(e); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(valid(Envelope{Tag: "status", From: 3, Payload: dlb.StatusMsg{Phase: 2, Units: 10}}))
+	f.Add(valid(Envelope{Tag: "hb", From: 0, Payload: dlb.HeartbeatMsg{Epoch: 1}}))
+	f.Add(valid(Envelope{Tag: TagHello, From: 1, Payload: HelloMsg{Version: 1, Node: 1}}))
+	f.Add(valid(Envelope{Tag: "reduce:r", From: 2, Payload: []float64{1, 2, 3}})[:7])
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x00})
+	f.Add([]byte{0x00, 0x00, 0x10, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewConn(bytes.NewBuffer(data))
+		// A tight limit keeps the fuzzer from legitimately allocating huge
+		// frames out of its own length prefixes.
+		c.SetMaxFrame(1 << 20)
+		for i := 0; i < 16; i++ {
+			_, err := c.Recv()
+			if err != nil {
+				var fe *FrameLimitError
+				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.As(err, &fe) {
+					return
+				}
+				// Any other decode error is fine too — it must only be an
+				// error, not a panic.
+				return
+			}
+		}
+	})
+}

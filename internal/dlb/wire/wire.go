@@ -25,8 +25,23 @@ type Envelope struct {
 	Payload interface{}
 }
 
-// maxFrame bounds a frame to guard against corrupt length prefixes.
-const maxFrame = 1 << 30
+// DefaultMaxFrame bounds a frame to guard against corrupt length prefixes
+// (and, on a real network, against a hostile or confused peer allocating
+// unbounded memory on the receiver). Override per connection with
+// Conn.SetMaxFrame.
+const DefaultMaxFrame = 1 << 30
+
+// FrameLimitError reports a frame whose declared or actual size exceeds the
+// connection's limit. It distinguishes a policy rejection from transport
+// corruption so callers can surface it precisely.
+type FrameLimitError struct {
+	Size  int // declared (inbound) or attempted (outbound) frame size
+	Limit int
+}
+
+func (e *FrameLimitError) Error() string {
+	return fmt.Sprintf("wire: frame of %d bytes exceeds limit %d", e.Size, e.Limit)
+}
 
 func init() {
 	gob.Register(dlb.StatusMsg{})
@@ -44,12 +59,21 @@ func init() {
 	gob.Register(dlb.JoinMsg{})
 	gob.Register(dlb.AdoptMsg{})
 	gob.Register(dlb.FinAckMsg{})
+	// Combine all-reduce deltas travel as bare slices.
+	gob.Register([]float64(nil))
+	// Connection-lifecycle control frames (the netrun transport).
+	gob.Register(StartMsg{})
+	gob.Register(HelloMsg{})
+	gob.Register(RosterMsg{})
+	gob.Register(PeerHelloMsg{})
+	gob.Register(RejectMsg{})
 }
 
 // Conn sends and receives envelopes over a byte stream with 4-byte
 // big-endian length prefixes.
 type Conn struct {
 	rw  io.ReadWriter
+	fr  *framed
 	enc *gob.Encoder
 	dec *gob.Decoder
 }
@@ -57,8 +81,18 @@ type Conn struct {
 // NewConn wraps a stream. Gob streams are stateful, so a Conn must be used
 // by a single sender and a single receiver (one per direction is fine).
 func NewConn(rw io.ReadWriter) *Conn {
-	fr := &framed{rw: rw}
-	return &Conn{rw: rw, enc: gob.NewEncoder(fr), dec: gob.NewDecoder(fr)}
+	fr := &framed{rw: rw, limit: DefaultMaxFrame}
+	return &Conn{rw: rw, fr: fr, enc: gob.NewEncoder(fr), dec: gob.NewDecoder(fr)}
+}
+
+// SetMaxFrame bounds the size of a single frame in both directions.
+// Oversized frames fail with a *FrameLimitError. Non-positive limits
+// restore the default.
+func (c *Conn) SetMaxFrame(n int) {
+	if n <= 0 {
+		n = DefaultMaxFrame
+	}
+	c.fr.limit = n
 }
 
 // Send writes one envelope.
@@ -80,13 +114,14 @@ func (c *Conn) Recv() (Envelope, error) {
 // its own framing; the explicit prefix makes the protocol language-neutral
 // at the transport level and lets non-gob tooling skip messages).
 type framed struct {
-	rw  io.ReadWriter
-	buf []byte // unread remainder of the current inbound frame
+	rw    io.ReadWriter
+	limit int
+	buf   []byte // unread remainder of the current inbound frame
 }
 
 func (f *framed) Write(p []byte) (int, error) {
-	if len(p) > maxFrame {
-		return 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", len(p))
+	if len(p) > f.limit {
+		return 0, &FrameLimitError{Size: len(p), Limit: f.limit}
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(p)))
@@ -103,8 +138,8 @@ func (f *framed) Read(p []byte) (int, error) {
 			return 0, err
 		}
 		n := binary.BigEndian.Uint32(hdr[:])
-		if n > maxFrame {
-			return 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+		if int64(n) > int64(f.limit) {
+			return 0, &FrameLimitError{Size: int(n), Limit: f.limit}
 		}
 		f.buf = make([]byte, n)
 		if _, err := io.ReadFull(f.rw, f.buf); err != nil {

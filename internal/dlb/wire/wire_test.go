@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"reflect"
 	"sync"
@@ -256,8 +257,78 @@ func TestTruncatedFrame(t *testing.T) {
 }
 
 func TestFrameLimit(t *testing.T) {
-	f := &framed{rw: &bytes.Buffer{}}
-	if _, err := f.Write(make([]byte, maxFrame+1)); err == nil {
+	f := &framed{rw: &bytes.Buffer{}, limit: DefaultMaxFrame}
+	if _, err := f.Write(make([]byte, DefaultMaxFrame+1)); err == nil {
 		t.Fatal("oversized frame accepted")
+	}
+}
+
+// TestFrameLimitTyped asserts both directions reject oversized frames with
+// a *FrameLimitError carrying the offending size and the active limit.
+func TestFrameLimitTyped(t *testing.T) {
+	var buf bytes.Buffer
+	send := NewConn(&buf)
+	send.SetMaxFrame(64)
+	big := make([]float64, 1024)
+	err := send.Send(Envelope{Tag: "reduce:r", From: 1, Payload: big})
+	var fe *FrameLimitError
+	if !errors.As(err, &fe) {
+		t.Fatalf("oversized send: got %v, want *FrameLimitError", err)
+	}
+	if fe.Limit != 64 || fe.Size <= 64 {
+		t.Fatalf("bad error fields: size %d limit %d", fe.Size, fe.Limit)
+	}
+
+	// Inbound: encode unrestricted, decode with a tight limit.
+	buf.Reset()
+	if err := NewConn(&buf).Send(Envelope{Tag: "reduce:r", From: 1, Payload: big}); err != nil {
+		t.Fatal(err)
+	}
+	recv := NewConn(&buf)
+	recv.SetMaxFrame(64)
+	_, err = recv.Recv()
+	fe = nil
+	if !errors.As(err, &fe) {
+		t.Fatalf("oversized recv: got %v, want *FrameLimitError", err)
+	}
+	if fe.Limit != 64 {
+		t.Fatalf("bad limit: %d", fe.Limit)
+	}
+}
+
+// TestControlFrameRoundTrip exercises the netrun connection-lifecycle
+// frames through a full encode/decode cycle.
+func TestControlFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	frames := []Envelope{
+		{Tag: TagStart, From: -1, Payload: StartMsg{
+			Version: 1, Node: 2, Slaves: 4, Total: 8, PlanHash: "abc",
+			MasterAddr: "127.0.0.1:9", Roster: map[int]string{0: "127.0.0.1:1"},
+			Spec: RunSpec{
+				Source: "program mm ...", Params: map[string]int{"n": 64},
+				DistDims: map[string]int{"c": 1}, DistLoops: []string{"j"},
+				Grain: 3, DLB: true, HeartbeatEvery: 100 * time.Millisecond,
+				FaultSpec: "crash:1@0.5",
+			},
+		}},
+		{Tag: TagHello, From: 2, Payload: HelloMsg{Version: 1, Node: 2, PlanHash: "abc", PeerAddr: "127.0.0.1:2", Join: true}},
+		{Tag: TagRoster, From: -1, Payload: RosterMsg{Addrs: map[int]string{0: "a", 1: "b"}}},
+		{Tag: TagPeerHello, From: 3, Payload: PeerHelloMsg{From: 3}},
+		{Tag: TagReject, From: -1, Payload: RejectMsg{Code: RejectDuplicate, Detail: "node 2"}},
+	}
+	for _, e := range frames {
+		if err := c.Send(e); err != nil {
+			t.Fatalf("send %s: %v", e.Tag, err)
+		}
+	}
+	for _, want := range frames {
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %s: %v", want.Tag, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, want)
+		}
 	}
 }

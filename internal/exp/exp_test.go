@@ -405,3 +405,24 @@ func TestFaultTolerance(t *testing.T) {
 		t.Errorf("render missing expected columns:\n%s", out)
 	}
 }
+
+func TestNetOverhead(t *testing.T) {
+	rows, err := NetOverhead(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (mm/sor x goroutines/tcp)", len(rows))
+	}
+	for _, r := range rows {
+		if r.MaxDiff != 0 {
+			t.Errorf("%s/%s: result differs from sequential reference by %g", r.App, r.Backend, r.MaxDiff)
+		}
+		if r.Par <= 0 || r.Seq <= 0 {
+			t.Errorf("%s/%s: non-positive timing (seq %v, par %v)", r.App, r.Backend, r.Seq, r.Par)
+		}
+	}
+	if out := RenderNetOverhead(rows); len(out) == 0 {
+		t.Error("empty rendering")
+	}
+}

@@ -17,6 +17,7 @@ package fault
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -161,6 +162,30 @@ func (p *Plan) Validate() error {
 //	stall:<slave>@<sec>:<sec>      stall slave at t for d
 //	drop:<slave>@<sec>:<sec>       drop slave's links at t for d
 //	join@<sec>                     a new node registers at t
+// FormatSpec renders a plan back to the ParseSpec syntax. The distributed
+// runtime ships fault schedules to slave daemons as spec strings (the plan
+// structs never cross the wire), so FormatSpec ∘ ParseSpec must be the
+// identity on every valid plan.
+func FormatSpec(p *Plan) string {
+	if p == nil || len(p.Events) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(p.Events))
+	for _, e := range p.Events {
+		switch e.Kind {
+		case Crash:
+			parts = append(parts, fmt.Sprintf("crash:%d@%g", e.Slave, e.At.Seconds()))
+		case Stall:
+			parts = append(parts, fmt.Sprintf("stall:%d@%g:%g", e.Slave, e.At.Seconds(), e.Duration.Seconds()))
+		case LinkDrop:
+			parts = append(parts, fmt.Sprintf("drop:%d@%g:%g", e.Slave, e.At.Seconds(), e.Duration.Seconds()))
+		case Join:
+			parts = append(parts, fmt.Sprintf("join@%g", e.At.Seconds()))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
 func ParseSpec(spec string) (*Plan, error) {
 	p := &Plan{}
 	if spec == "" || spec == "none" {

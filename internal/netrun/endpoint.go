@@ -1,0 +1,176 @@
+package netrun
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// connLost unwinds a slave's run when its master connection dies. The
+// daemon catches it, tears the session down, and redials the master as a
+// fresh joiner; anything else that escapes the run is a real bug.
+type connLost struct{ err error }
+
+func (c connLost) Error() string { return fmt.Sprintf("netrun: master connection lost: %v", c.err) }
+
+// mailbox is the process-local message store the readers of all
+// connections deliver into: the TCP analogue of a cluster node's mailbox.
+// One consumer (the master or slave loop) receives; any reader goroutine
+// puts.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []cluster.Msg
+	fail    error         // master link lost (slave side); consumers panic connLost
+	notify  chan struct{} // wakes a Sleep early when a message lands
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{notify: make(chan struct{}, 1)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) put(m cluster.Msg) {
+	b.mu.Lock()
+	b.pending = append(b.pending, m)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+}
+
+// setFail poisons the mailbox: every blocked or future receive panics
+// connLost, unwinding the slave loop no matter how deep it is.
+func (b *mailbox) setFail(err error) {
+	b.mu.Lock()
+	if b.fail == nil {
+		b.fail = err
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+}
+
+func matchMsg(m cluster.Msg, from int, tag string) bool {
+	if from != cluster.AnySource && m.From != from {
+		return false
+	}
+	return tag == "" || m.Tag == tag
+}
+
+// take removes the first match; callers hold b.mu.
+func (b *mailbox) take(from int, tag string) (cluster.Msg, bool) {
+	for i, m := range b.pending {
+		if matchMsg(m, from, tag) {
+			b.pending = append(b.pending[:i], b.pending[i+1:]...)
+			return m, true
+		}
+	}
+	return cluster.Msg{}, false
+}
+
+func (b *mailbox) tryRecv(from int, tag string) (cluster.Msg, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if m, ok := b.take(from, tag); ok {
+		return m, true
+	}
+	if b.fail != nil {
+		panic(connLost{b.fail})
+	}
+	return cluster.Msg{}, false
+}
+
+func (b *mailbox) recv(from int, tag string) cluster.Msg {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if m, ok := b.take(from, tag); ok {
+			return m
+		}
+		if b.fail != nil {
+			panic(connLost{b.fail})
+		}
+		b.cond.Wait()
+	}
+}
+
+// sleep idles for d but wakes early when a message arrives (or the mailbox
+// is poisoned), so the coarse network poll interval costs no latency: a
+// receive loop's next TryRecv runs as soon as there is anything to try.
+func (b *mailbox) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-b.notify:
+	case <-t.C:
+	}
+}
+
+// netPollInterval is the backoff of poll-based receive loops on the TCP
+// endpoint. It can be 10x the default: mailbox.sleep wakes early on
+// arrival, so a long interval only meters the no-traffic case instead of
+// adding latency (satellite of the recvTimeout poll-interval rework).
+const netPollInterval = 10 * time.Millisecond
+
+// endpoint implements dlb.Endpoint over the router/mailbox pair. One
+// endpoint per process; the same master/slave code that runs on the
+// simulated cluster and the goroutine runtime runs here unmodified.
+type endpoint struct {
+	rt    *router
+	box   *mailbox
+	start time.Time
+	drag  float64
+	busy  time.Duration
+}
+
+func newEndpoint(rt *router, box *mailbox, drag float64) *endpoint {
+	if drag < 1 {
+		drag = 1
+	}
+	return &endpoint{rt: rt, box: box, start: time.Now(), drag: drag}
+}
+
+func (e *endpoint) Charge(time.Duration) {}
+
+func (e *endpoint) Timed(fn func()) {
+	t0 := time.Now()
+	fn()
+	d := time.Since(t0)
+	if e.drag > 1 {
+		extra := time.Duration((e.drag - 1) * float64(d))
+		time.Sleep(extra)
+		d += extra
+	}
+	e.busy += d
+}
+
+func (e *endpoint) Send(to int, tag string, bytes int, data interface{}) {
+	e.rt.send(to, tag, data)
+}
+
+func (e *endpoint) Recv(from int, tag string) cluster.Msg {
+	return e.box.recv(from, tag)
+}
+
+func (e *endpoint) TryRecv(from int, tag string) (cluster.Msg, bool) {
+	return e.box.tryRecv(from, tag)
+}
+
+func (e *endpoint) Busy() time.Duration   { return e.busy }
+func (e *endpoint) Now() time.Duration    { return time.Since(e.start) }
+func (e *endpoint) Sleep(d time.Duration) { e.box.sleep(d) }
+
+// PollInterval implements dlb.PollTuner.
+func (e *endpoint) PollInterval() time.Duration { return netPollInterval }

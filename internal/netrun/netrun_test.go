@@ -1,0 +1,123 @@
+package netrun
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/depend"
+	"repro/internal/dlb"
+	"repro/internal/loopir"
+)
+
+// testPlan compiles a library program with the same directives the CLIs
+// use.
+func testPlan(t *testing.T, name string, n, iter int) (*compile.Plan, map[string]int) {
+	t.Helper()
+	prog := loopir.Library()[name]
+	if prog == nil {
+		t.Fatalf("unknown program %q", name)
+	}
+	specs := map[string]depend.DistSpec{
+		"mm":  {Dims: map[string]int{"c": 1, "b": 1}, Loops: []string{"j"}},
+		"sor": {Dims: map[string]int{"b": 0}, Loops: []string{"j"}},
+	}
+	plan, err := compile.Compile(prog, compile.Options{Dist: specs[name]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]int{}
+	for _, prm := range prog.Params {
+		if strings.Contains(prm, "iter") {
+			params[prm] = iter
+		} else {
+			params[prm] = n
+		}
+	}
+	return plan, params
+}
+
+// startServers spins up n in-process slave daemons on loopback and
+// returns their addresses. Each daemon is a full Server — the same code
+// cmd/dlbd runs — only the process boundary is missing (the multi-process
+// variant lives in proc_test.go).
+func startServers(t *testing.T, n int, opt ServerOptions) ([]string, []*Server) {
+	t.Helper()
+	addrs := make([]string, n)
+	srvs := make([]*Server, n)
+	for i := 0; i < n; i++ {
+		srv, err := NewServer(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = srv.Addr()
+		srvs[i] = srv
+		go srv.Serve()
+		t.Cleanup(func() { srv.Close() })
+	}
+	return addrs, srvs
+}
+
+func seqReference(t *testing.T, plan *compile.Plan, params map[string]int) map[string]*loopir.Array {
+	t.Helper()
+	inst, err := loopir.NewInstance(plan.Prog, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return inst.Arrays
+}
+
+func checkBitIdentical(t *testing.T, res *dlb.Result, ref map[string]*loopir.Array) {
+	t.Helper()
+	if res.Final == nil {
+		t.Fatal("no final arrays")
+	}
+	for name, want := range ref {
+		got := res.Final[name]
+		if got == nil {
+			t.Fatalf("array %s missing from result", name)
+		}
+		if d := want.MaxAbsDiff(got); d != 0 {
+			t.Errorf("array %s differs from sequential reference: max |diff| = %g", name, d)
+		}
+	}
+}
+
+func TestLoopbackMM(t *testing.T) {
+	plan, params := testPlan(t, "mm", 48, 0)
+	addrs, _ := startServers(t, 4, ServerOptions{})
+	cfg := dlb.Config{
+		Plan:        plan,
+		Params:      params,
+		DLB:         true,
+		RealQuantum: 2 * time.Millisecond,
+	}
+	res, err := RunMaster(cfg, addrs, MasterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBitIdentical(t, res, seqReference(t, plan, params))
+	if res.Phases < 1 {
+		t.Errorf("expected at least one balancing phase, got %d", res.Phases)
+	}
+}
+
+func TestLoopbackSOR(t *testing.T) {
+	plan, params := testPlan(t, "sor", 64, 6)
+	addrs, _ := startServers(t, 4, ServerOptions{})
+	cfg := dlb.Config{
+		Plan:        plan,
+		Params:      params,
+		DLB:         true,
+		RealQuantum: 2 * time.Millisecond,
+	}
+	res, err := RunMaster(cfg, addrs, MasterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBitIdentical(t, res, seqReference(t, plan, params))
+}

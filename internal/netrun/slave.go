@@ -1,0 +1,334 @@
+package netrun
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dlb"
+	"repro/internal/dlb/wire"
+)
+
+// ServerOptions configures a slave daemon.
+type ServerOptions struct {
+	// Listen is the daemon's listener address (default "127.0.0.1:0").
+	// Masters dial it to start runs; peers dial it for direct work
+	// movement and boundary exchange.
+	Listen string
+	// Advertise is the address peers should dial ("" : the bound address;
+	// set it when the daemon listens on a wildcard interface).
+	Advertise string
+	// Join, when set, makes the daemon dial the given master listener at
+	// startup and volunteer as an elastic joiner.
+	Join string
+	// Drag slows this daemon's computation by the given factor (>= 1),
+	// emulating a slower or loaded machine so load redistribution is
+	// observable on homogeneous test hardware.
+	Drag     float64
+	Timeouts Timeouts
+	// Logf receives daemon events (nil: silent).
+	Logf func(format string, args ...interface{})
+}
+
+// Server is the slave daemon: it serves one run at a time, accepting the
+// master's handshake and its peers' connections, executing the slave loop
+// over the TCP endpoint, and rejoining the master elastically after a lost
+// connection.
+type Server struct {
+	opt ServerOptions
+	to  Timeouts
+	ln  net.Listener
+
+	mu     sync.Mutex
+	sess   *session
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// session is one run's transport state.
+type session struct {
+	node int
+	rt   *router
+	box  *mailbox
+}
+
+// NewServer binds the daemon's listener.
+func NewServer(opt ServerOptions) (*Server, error) {
+	listen := opt.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("netrun: slave listener: %w", err)
+	}
+	return &Server{opt: opt, to: opt.Timeouts.withDefaults(), ln: ln}, nil
+}
+
+// Addr is the bound listener address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) advertise() string {
+	if s.opt.Advertise != "" {
+		return s.opt.Advertise
+	}
+	return s.Addr()
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}
+
+// Close stops the daemon: the listener shuts down and any active run is
+// torn down (its master sees the silence and evicts this node).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	sess := s.sess
+	s.mu.Unlock()
+	err := s.ln.Close()
+	if sess != nil {
+		sess.rt.close()
+		sess.box.setFail(errors.New("server closed"))
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Serve accepts connections until Close. It blocks.
+func (s *Server) Serve() error {
+	if s.opt.Join != "" {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.joinMaster(s.opt.Join)
+		}()
+	}
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(nc)
+		}()
+	}
+}
+
+// handleConn dispatches an inbound connection on its first frame: a
+// StartMsg opens a run (the master dialed us), a PeerHelloMsg attaches a
+// slave↔slave data connection to the active session.
+func (s *Server) handleConn(nc net.Conn) {
+	wc := wire.NewConn(nc)
+	nc.SetReadDeadline(time.Now().Add(s.to.Handshake))
+	env, err := wc.Recv()
+	if err != nil {
+		nc.Close()
+		return
+	}
+	nc.SetReadDeadline(time.Time{})
+	switch env.Tag {
+	case wire.TagStart:
+		st, ok := env.Payload.(wire.StartMsg)
+		if !ok {
+			s.reject(wc, nc, wire.RejectMsg{Code: wire.RejectProtocol, Detail: "malformed start payload"})
+			return
+		}
+		s.runSession(nc, wc, st, false)
+	case wire.TagPeerHello:
+		ph, ok := env.Payload.(wire.PeerHelloMsg)
+		if !ok {
+			nc.Close()
+			return
+		}
+		s.mu.Lock()
+		sess := s.sess
+		s.mu.Unlock()
+		if sess == nil {
+			nc.Close() // no active run; a stale peer of a finished session
+			return
+		}
+		sess.rt.attach(ph.From, nc, wc, false)
+	default:
+		s.reject(wc, nc, wire.RejectMsg{Code: wire.RejectProtocol, Detail: fmt.Sprintf("unexpected first frame %q", env.Tag)})
+	}
+}
+
+func (s *Server) reject(wc *wire.Conn, nc net.Conn, rej wire.RejectMsg) {
+	nc.SetWriteDeadline(time.Now().Add(s.to.Handshake))
+	wc.Send(wire.Envelope{Tag: wire.TagReject, From: -1, Payload: rej})
+	nc.Close()
+	s.logf("rejected %s: %s (%s)", nc.RemoteAddr(), rej.Code, rej.Detail)
+}
+
+// runSession validates a StartMsg, answers the handshake, executes the
+// slave loop, and — when the master connection was lost mid-run — redials
+// the master to rejoin as a fresh node.
+func (s *Server) runSession(nc net.Conn, wc *wire.Conn, st wire.StartMsg, joiner bool) {
+	if st.Version != ProtocolVersion {
+		s.reject(wc, nc, wire.RejectMsg{
+			Code:   wire.RejectVersion,
+			Detail: fmt.Sprintf("daemon speaks version %d, master %d", ProtocolVersion, st.Version),
+		})
+		return
+	}
+	cfg, err := configFromSpec(st.Spec)
+	if err != nil {
+		s.reject(wc, nc, wire.RejectMsg{Code: wire.RejectProtocol, Detail: err.Error()})
+		return
+	}
+	pre, err := dlb.Prepare(cfg, st.Slaves)
+	if err != nil {
+		s.reject(wc, nc, wire.RejectMsg{Code: wire.RejectProtocol, Detail: err.Error()})
+		return
+	}
+	hash := PlanHash(cfg.Plan, pre.Exec, cfg.Params, pre.Grain)
+	if hash != st.PlanHash {
+		s.reject(wc, nc, wire.RejectMsg{
+			Code:   wire.RejectPlanHash,
+			Detail: fmt.Sprintf("daemon compiled %s, master %s", hash, st.PlanHash),
+		})
+		return
+	}
+
+	box := newMailbox()
+	rt := newRouter(st.Node, box, s.to, true)
+	rt.mergeRoster(st.Roster)
+	sess := &session{node: st.Node, rt: rt, box: box}
+	s.mu.Lock()
+	if s.sess != nil || s.closed {
+		s.mu.Unlock()
+		s.reject(wc, nc, wire.RejectMsg{Code: wire.RejectProtocol, Detail: "daemon is busy with another run"})
+		return
+	}
+	s.sess = sess
+	s.mu.Unlock()
+
+	nc.SetWriteDeadline(time.Now().Add(s.to.Handshake))
+	hello := wire.HelloMsg{
+		Version:  ProtocolVersion,
+		Node:     st.Node,
+		PlanHash: hash,
+		PeerAddr: s.advertise(),
+		Join:     joiner,
+	}
+	if err := wc.Send(wire.Envelope{Tag: wire.TagHello, From: st.Node, Payload: hello}); err != nil {
+		s.clearSession(sess)
+		nc.Close()
+		return
+	}
+	nc.SetWriteDeadline(time.Time{})
+	rt.attach(cluster.MasterID, nc, wc, false)
+
+	s.logf("node %d: run started (%d slaves, %d slots, grain %d, joiner=%v)",
+		st.Node, st.Slaves, st.Total, pre.Grain, joiner)
+	err = s.runSlave(sess, cfg, st, joiner, pre)
+	rt.close()
+	s.clearSession(sess)
+
+	var cl connLost
+	switch {
+	case err == nil:
+		s.logf("node %d: run completed", st.Node)
+	case errors.Is(err, dlb.ErrEvicted):
+		s.logf("node %d: evicted by master", st.Node)
+	case errors.Is(err, dlb.ErrInjectedCrash):
+		s.logf("node %d: halted by injected crash", st.Node)
+	case errors.As(err, &cl):
+		s.logf("node %d: %v", st.Node, err)
+		if st.MasterAddr != "" && !s.isClosed() {
+			s.logf("node %d: rejoining master at %s", st.Node, st.MasterAddr)
+			s.joinMaster(st.MasterAddr)
+		}
+	default:
+		s.logf("node %d: run failed: %v", st.Node, err)
+	}
+}
+
+// runSlave drives the slave loop, mapping the transport's panics to
+// errors. A genuine bug is broadcast to all peers (fail fast, like the
+// goroutine runtime's abort) but does not kill the daemon.
+func (s *Server) runSlave(sess *session, cfg dlb.Config, st wire.StartMsg, joiner bool, pre *dlb.Prepared) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if cl, ok := p.(connLost); ok {
+				err = cl
+				return
+			}
+			sess.rt.abort()
+			err = fmt.Errorf("netrun: slave %d panicked: %v", sess.node, p)
+		}
+	}()
+	ep := newEndpoint(sess.rt, sess.box, s.opt.Drag)
+	return dlb.RunSlaveOn(ep, cfg, st.Node, st.Slaves, joiner, pre)
+}
+
+func (s *Server) clearSession(sess *session) {
+	s.mu.Lock()
+	if s.sess == sess {
+		s.sess = nil
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// joinMaster dials the master's listener and volunteers as an elastic
+// joiner: both a fresh node joining mid-run and a slave whose connection
+// died re-enter through this path (the master refuses id reuse — the old
+// slot's state is gone, so the daemon comes back under a new identity).
+func (s *Server) joinMaster(addr string) {
+	nc, err := dialBackoff(addr, s.to.Dial)
+	if err != nil {
+		s.logf("join %s: %v", addr, err)
+		return
+	}
+	wc := wire.NewConn(nc)
+	nc.SetDeadline(time.Now().Add(s.to.Handshake))
+	hello := wire.HelloMsg{Version: ProtocolVersion, PeerAddr: s.advertise(), Join: true}
+	if err := wc.Send(wire.Envelope{Tag: wire.TagHello, From: -1, Payload: hello}); err != nil {
+		nc.Close()
+		s.logf("join %s: %v", addr, err)
+		return
+	}
+	env, err := wc.Recv()
+	if err != nil {
+		nc.Close()
+		s.logf("join %s: %v", addr, err)
+		return
+	}
+	nc.SetDeadline(time.Time{})
+	switch env.Tag {
+	case wire.TagStart:
+		st, ok := env.Payload.(wire.StartMsg)
+		if !ok {
+			nc.Close()
+			return
+		}
+		s.runSession(nc, wc, st, true)
+	case wire.TagReject:
+		if rej, ok := env.Payload.(wire.RejectMsg); ok {
+			s.logf("join %s refused: %v", addr, rejectErr(rej))
+		}
+		nc.Close()
+	default:
+		nc.Close()
+	}
+}
