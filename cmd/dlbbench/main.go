@@ -9,7 +9,7 @@
 //	dlbbench -out results/    # write <name>.txt (and fig9.csv) files
 //
 // Experiments: table1 fig5 fig6 fig7 fig8 fig9 pipeline grain refinements
-// lu baselines hetero fault net
+// lu baselines hetero fault net plane
 package main
 
 import (
@@ -35,7 +35,7 @@ type artifact struct {
 }
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run (table1, fig5..fig9, pipeline, grain, refinements, lu, baselines, hetero, fault, net, all)")
+	which := flag.String("exp", "all", "experiment to run (table1, fig5..fig9, pipeline, grain, refinements, lu, baselines, hetero, fault, net, plane, all)")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	out := flag.String("out", "", "directory to write artifacts to (default: stdout)")
 	flag.Parse()
@@ -147,6 +147,19 @@ func main() {
 			fail(err)
 		}
 		add("net", exp.RenderNetOverhead(rows))
+	}
+	if want("plane") {
+		rep, err := exp.Plane(scale)
+		if err != nil {
+			fail(err)
+		}
+		artifacts = append(artifacts, artifact{
+			name:    "plane",
+			content: exp.RenderPlane(rep),
+			extra: map[string]string{
+				"BENCH_plane.json": exp.PlaneJSON(rep),
+			},
+		})
 	}
 	if len(artifacts) == 0 {
 		fail(fmt.Errorf("unknown experiment %q", *which))

@@ -282,3 +282,31 @@ func TestBalancerStatusCountPanics(t *testing.T) {
 	}()
 	mkBalancer(3, 9, false).Step(allStatuses(1, 2), 9)
 }
+
+func TestPeriodShrinksWhenMovementCheaper(t *testing.T) {
+	// A faster data plane (the binary bulk codec) makes every observed
+	// movement cheaper; the move-cost EMA must pull the adaptive period
+	// down with it. Costs model the measured codec gap (~4-5x).
+	slow := NewMoveCostModel(time.Millisecond, 10*time.Millisecond)
+	fast := NewMoveCostModel(time.Millisecond, 10*time.Millisecond)
+	for i := 0; i < 8; i++ {
+		slow.Observe(100, 30*time.Second)
+		fast.Observe(100, 6*time.Second)
+	}
+	q := 10 * time.Millisecond
+	pSlow := TargetPeriod(PeriodInputs{Quantum: q, MoveCost: slow.Estimate(100)})
+	pFast := TargetPeriod(PeriodInputs{Quantum: q, MoveCost: fast.Estimate(100)})
+	if pFast >= pSlow {
+		t.Fatalf("period did not shrink with cheaper movement: fast %v, slow %v", pFast, pSlow)
+	}
+	if pSlow < 2*pFast {
+		t.Errorf("5x cheaper movements shrank the period only from %v to %v", pSlow, pFast)
+	}
+	// Arbitrarily cheap movement floors at the quantum bound instead of
+	// collapsing to zero.
+	cheap := NewMoveCostModel(0, 0)
+	cheap.Observe(100, time.Microsecond)
+	if p := TargetPeriod(PeriodInputs{Quantum: q, MoveCost: cheap.Estimate(100)}); p != 500*time.Millisecond {
+		t.Fatalf("period = %v, want the 500ms floor", p)
+	}
+}

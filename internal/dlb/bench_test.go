@@ -1,0 +1,67 @@
+package dlb
+
+import (
+	"testing"
+
+	"repro/internal/loopir"
+)
+
+// walkUnitSlice is the pre-fast-path gather: the per-element closure walk
+// (still the oracle and the fallback), benchmarked as the baseline.
+func walkUnitSlice(a *loopir.Array, dim, u int) []float64 {
+	out := make([]float64, 0, unitSize(a, dim))
+	forEachUnitElem(a, dim, u, -1, 0, 0, func(flat int) {
+		out = append(out, a.Data[flat])
+	})
+	return out
+}
+
+func walkSetUnitSlice(a *loopir.Array, dim, u int, vals []float64) {
+	i := 0
+	forEachUnitElem(a, dim, u, -1, 0, 0, func(flat int) {
+		a.Data[flat] = vals[i]
+		i++
+	})
+}
+
+// BenchmarkUnitCopy compares the contiguous-copy kernels against the
+// element walk on the shapes the runtime actually moves: a row of a
+// row-distributed 2D array (fully contiguous — one copy()), a column of a
+// column-distributed 2D array (the MM hot path — a strided loop), and a
+// plane of a 3D array (runs of the innermost extent).
+func BenchmarkUnitCopy(b *testing.B) {
+	cases := []struct {
+		name string
+		dims []int
+		dim  int
+	}{
+		{"2d-row", []int{512, 512}, 0},
+		{"2d-col", []int{512, 512}, 1},
+		{"3d-mid", []int{64, 64, 64}, 1},
+	}
+	for _, c := range cases {
+		a := loopir.NewArray("a", c.dims)
+		for i := range a.Data {
+			a.Data[i] = float64(i)
+		}
+		u := c.dims[c.dim] / 2
+		bytes := int64(8 * unitSize(a, c.dim))
+
+		b.Run(c.name+"/walk", func(b *testing.B) {
+			b.SetBytes(bytes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				vals := walkUnitSlice(a, c.dim, u)
+				walkSetUnitSlice(a, c.dim, u, vals)
+			}
+		})
+		b.Run(c.name+"/fast", func(b *testing.B) {
+			b.SetBytes(bytes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				vals := unitSlice(a, c.dim, u)
+				setUnitSlice(a, c.dim, u, vals)
+			}
+		})
+	}
+}

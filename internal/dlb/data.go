@@ -2,7 +2,6 @@ package dlb
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -176,9 +175,15 @@ func unitSize(a *loopir.Array, dim int) int {
 }
 
 // unitSlice copies the elements of the array with index dim fixed at u, in
-// canonical (row-major, dim removed) order.
+// canonical (row-major, dim removed) order. The selection decomposes into
+// contiguous runs copied with copy() (or a tight strided loop when runs
+// degenerate to single elements); the per-element walk remains as the
+// fallback and as the oracle the fast path is tested against.
 func unitSlice(a *loopir.Array, dim, u int) []float64 {
 	out := make([]float64, 0, unitSize(a, dim))
+	if fast, ok := gatherUnit(out, a, dim, u, -1, 0, 0); ok {
+		return fast
+	}
 	forEachUnitElem(a, dim, u, -1, 0, 0, func(flat int) {
 		out = append(out, a.Data[flat])
 	})
@@ -187,6 +192,9 @@ func unitSlice(a *loopir.Array, dim, u int) []float64 {
 
 // setUnitSlice writes a slice produced by unitSlice back at index u.
 func setUnitSlice(a *loopir.Array, dim, u int, vals []float64) {
+	if scatterUnit(a, dim, u, -1, 0, 0, vals) {
+		return
+	}
 	i := 0
 	forEachUnitElem(a, dim, u, -1, 0, 0, func(flat int) {
 		a.Data[flat] = vals[i]
@@ -200,6 +208,9 @@ func setUnitSlice(a *loopir.Array, dim, u int, vals []float64) {
 // unitSliceRows copies the elements with index dim = u and rowDim in
 // [rowLo, rowHi).
 func unitSliceRows(a *loopir.Array, dim, u, rowDim, rowLo, rowHi int) []float64 {
+	if fast, ok := gatherUnit(nil, a, dim, u, rowDim, rowLo, rowHi); ok {
+		return fast
+	}
 	var out []float64
 	forEachUnitElem(a, dim, u, rowDim, rowLo, rowHi, func(flat int) {
 		out = append(out, a.Data[flat])
@@ -209,6 +220,9 @@ func unitSliceRows(a *loopir.Array, dim, u, rowDim, rowLo, rowHi int) []float64 
 
 // setUnitSliceRows writes back a slice produced by unitSliceRows.
 func setUnitSliceRows(a *loopir.Array, dim, u, rowDim, rowLo, rowHi int, vals []float64) {
+	if scatterUnit(a, dim, u, rowDim, rowLo, rowHi, vals) {
+		return
+	}
 	i := 0
 	forEachUnitElem(a, dim, u, rowDim, rowLo, rowHi, func(flat int) {
 		a.Data[flat] = vals[i]
@@ -217,6 +231,163 @@ func setUnitSliceRows(a *loopir.Array, dim, u, rowDim, rowLo, rowHi int, vals []
 	if i != len(vals) {
 		panic(fmt.Sprintf("dlb: row slice length %d does not match selection %d", len(vals), i))
 	}
+}
+
+// runShape is the contiguous-run decomposition of a unit selection: the
+// canonical-order walk visits runs of n consecutive elements, one per
+// combination of the outer loop counters, each starting at
+// off + Σ v_i·oStride_i.
+type runShape struct {
+	off, n            int
+	nOuter            int
+	oLo, oHi, oStride [4]int
+}
+
+// total is the element count of the whole selection.
+func (sh *runShape) total() int {
+	t := sh.n
+	for i := 0; i < sh.nOuter; i++ {
+		t *= sh.oHi[i] - sh.oLo[i]
+	}
+	return t
+}
+
+// unitRunShape computes the run decomposition for the selection
+// (dim = u, optionally rowDim in [rowLo, rowHi)). The innermost dim that
+// breaks contiguity is k = max(dim, restricted rowDim): everything after k
+// is iterated fully, so each setting of the dims up to k yields one
+// contiguous run — Stride[dim] elements at u·Stride[dim] when k == dim,
+// (hi−lo)·Stride[k] elements starting at lo·Stride[k] when k == rowDim.
+// Dims before k (minus the fixed dim) become the outer loops. Returns
+// ok = false for shapes it does not cover (rowDim == dim, > 4 outer dims);
+// the caller falls back to the per-element walk.
+func unitRunShape(a *loopir.Array, dim, u, rowDim, rowLo, rowHi int) (runShape, bool) {
+	var sh runShape
+	if dim < 0 || dim >= len(a.Dims) || rowDim == dim || rowDim >= len(a.Dims) {
+		return sh, false
+	}
+	k := dim
+	lo, hi := 0, 0
+	if rowDim >= 0 {
+		lo, hi = rowLo, rowHi
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > a.Dims[rowDim] {
+			hi = a.Dims[rowDim]
+		}
+		if hi < lo {
+			hi = lo
+		}
+		if rowDim > k {
+			k = rowDim
+		}
+	}
+	sh.off, sh.n = u*a.Stride[dim], a.Stride[dim]
+	if rowDim == k && rowDim >= 0 {
+		sh.off += lo * a.Stride[k]
+		sh.n = (hi - lo) * a.Stride[k]
+	}
+	for d := 0; d < k; d++ {
+		if d == dim {
+			continue
+		}
+		if sh.nOuter == len(sh.oLo) {
+			return sh, false
+		}
+		l, h := 0, a.Dims[d]
+		if d == rowDim {
+			l, h = lo, hi
+		}
+		sh.oLo[sh.nOuter], sh.oHi[sh.nOuter], sh.oStride[sh.nOuter] = l, h, a.Stride[d]
+		sh.nOuter++
+	}
+	return sh, true
+}
+
+// gatherUnit appends the selection to dst using contiguous copies (or a
+// tight strided loop when runs are single elements, the column-distributed
+// 2D case). ok = false means nothing was appended — fall back.
+func gatherUnit(dst []float64, a *loopir.Array, dim, u, rowDim, rowLo, rowHi int) ([]float64, bool) {
+	sh, ok := unitRunShape(a, dim, u, rowDim, rowLo, rowHi)
+	if !ok {
+		return dst, false
+	}
+	switch sh.nOuter {
+	case 0:
+		return append(dst, a.Data[sh.off:sh.off+sh.n]...), true
+	case 1:
+		l, h, s := sh.oLo[0], sh.oHi[0], sh.oStride[0]
+		if sh.n == 1 {
+			i := len(dst)
+			dst = append(dst, make([]float64, h-l)...)
+			col := a.Data[sh.off:]
+			for v := l; v < h; v++ {
+				dst[i] = col[v*s]
+				i++
+			}
+			return dst, true
+		}
+		for v := l; v < h; v++ {
+			o := sh.off + v*s
+			dst = append(dst, a.Data[o:o+sh.n]...)
+		}
+		return dst, true
+	case 2:
+		for v0 := sh.oLo[0]; v0 < sh.oHi[0]; v0++ {
+			b0 := sh.off + v0*sh.oStride[0]
+			for v1 := sh.oLo[1]; v1 < sh.oHi[1]; v1++ {
+				o := b0 + v1*sh.oStride[1]
+				dst = append(dst, a.Data[o:o+sh.n]...)
+			}
+		}
+		return dst, true
+	}
+	return dst, false
+}
+
+// scatterUnit writes vals over the selection with contiguous copies.
+// Returns false (having written nothing) on uncovered shapes or a length
+// mismatch — the fallback walk then reproduces the legacy panic.
+func scatterUnit(a *loopir.Array, dim, u, rowDim, rowLo, rowHi int, vals []float64) bool {
+	sh, ok := unitRunShape(a, dim, u, rowDim, rowLo, rowHi)
+	if !ok || sh.total() != len(vals) {
+		return false
+	}
+	switch sh.nOuter {
+	case 0:
+		copy(a.Data[sh.off:sh.off+sh.n], vals)
+		return true
+	case 1:
+		l, h, s := sh.oLo[0], sh.oHi[0], sh.oStride[0]
+		if sh.n == 1 {
+			col := a.Data[sh.off:]
+			for i, v := 0, l; v < h; v++ {
+				col[v*s] = vals[i]
+				i++
+			}
+			return true
+		}
+		i := 0
+		for v := l; v < h; v++ {
+			o := sh.off + v*s
+			copy(a.Data[o:o+sh.n], vals[i:])
+			i += sh.n
+		}
+		return true
+	case 2:
+		i := 0
+		for v0 := sh.oLo[0]; v0 < sh.oHi[0]; v0++ {
+			b0 := sh.off + v0*sh.oStride[0]
+			for v1 := sh.oLo[1]; v1 < sh.oHi[1]; v1++ {
+				o := b0 + v1*sh.oStride[1]
+				copy(a.Data[o:o+sh.n], vals[i:])
+				i += sh.n
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // forEachUnitElem visits the flat offsets of the array with index dim = u,
@@ -253,19 +424,18 @@ func forEachUnitElem(a *loopir.Array, dim, u, rowDim, rowLo, rowHi int, fn func(
 
 // ghostNeeds lists the units (ascending) that slave me must receive to
 // satisfy reads at the given distributed-dimension offset: units g = j +
-// delta read by my active owned units j but owned elsewhere.
+// delta read by my active owned units j but owned elsewhere. OwnedActive
+// yields ascending distinct units, so g = j + delta is already ascending
+// and distinct — no dedup or sort needed.
 func ghostNeeds(o *core.Ownership, me, delta int) []int {
-	seen := map[int]bool{}
 	var out []int
 	for _, j := range o.OwnedActive(me) {
 		g := j + delta
-		if g < 0 || g >= o.Units() || o.OwnerOf(g) == me || seen[g] {
+		if g < 0 || g >= o.Units() || o.OwnerOf(g) == me {
 			continue
 		}
-		seen[g] = true
 		out = append(out, g)
 	}
-	sort.Ints(out)
 	return out
 }
 
@@ -278,8 +448,10 @@ type supply struct {
 }
 
 func ghostSupplies(o *core.Ownership, me, delta int) []supply {
+	// Owned yields ascending distinct units, and each unit has exactly one
+	// reader j = g − delta, so the (Unit, To) pairs are unique and already
+	// in canonical order — no dedup or sort needed.
 	var out []supply
-	seen := map[[2]int]bool{}
 	for _, g := range o.Owned(me) {
 		j := g - delta
 		if j < 0 || j >= o.Units() || !o.IsActive(j) {
@@ -289,19 +461,8 @@ func ghostSupplies(o *core.Ownership, me, delta int) []supply {
 		if to == me {
 			continue
 		}
-		key := [2]int{g, to}
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
 		out = append(out, supply{Unit: g, To: to})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Unit != out[j].Unit {
-			return out[i].Unit < out[j].Unit
-		}
-		return out[i].To < out[j].To
-	})
 	return out
 }
 

@@ -111,6 +111,124 @@ func TestUnitSliceQuickRoundTrip(t *testing.T) {
 	}
 }
 
+// TestUnitCopyOracle pits the contiguous-run fast paths against the
+// per-element walk (the oracle) on every 1D/2D/3D shape, distributed dim,
+// unit, and row restriction — including out-of-range bounds that must
+// clamp, empty selections, and rowDim == dim (which the fast path
+// declines and the fallback must still answer).
+func TestUnitCopyOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	shapes := [][]int{{6}, {1}, {4, 5}, {5, 4}, {1, 7}, {3, 4, 5}, {2, 2, 2}, {5, 1, 3}}
+	for _, dims := range shapes {
+		a := loopir.NewArray("a", dims)
+		for i := range a.Data {
+			a.Data[i] = r.Float64()
+		}
+		for dim := range dims {
+			for u := 0; u < dims[dim]; u++ {
+				cases := [][3]int{{-1, 0, 0}} // unrestricted
+				for rowDim := range dims {
+					rd := dims[rowDim]
+					cases = append(cases,
+						[3]int{rowDim, 0, rd},           // full range
+						[3]int{rowDim, rd / 2, rd},      // suffix
+						[3]int{rowDim, 0, (rd + 1) / 2}, // prefix
+						[3]int{rowDim, -3, rd + 3},      // clamped
+						[3]int{rowDim, rd / 2, rd / 2},  // empty
+					)
+				}
+				for _, c := range cases {
+					rowDim, lo, hi := c[0], c[1], c[2]
+					var want []float64
+					forEachUnitElem(a, dim, u, rowDim, lo, hi, func(flat int) {
+						want = append(want, a.Data[flat])
+					})
+					var got []float64
+					if rowDim < 0 {
+						got = unitSlice(a, dim, u)
+					} else {
+						got = unitSliceRows(a, dim, u, rowDim, lo, hi)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("dims=%v dim=%d u=%d row=(%d,%d,%d): len %d, oracle %d",
+							dims, dim, u, rowDim, lo, hi, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("dims=%v dim=%d u=%d row=(%d,%d,%d): elem %d = %v, oracle %v",
+								dims, dim, u, rowDim, lo, hi, i, got[i], want[i])
+						}
+					}
+
+					// Scatter: writing the gathered values into a fresh
+					// array must exactly reproduce the oracle's writes.
+					wantArr := loopir.NewArray("w", dims)
+					i := 0
+					forEachUnitElem(wantArr, dim, u, rowDim, lo, hi, func(flat int) {
+						wantArr.Data[flat] = want[i]
+						i++
+					})
+					gotArr := loopir.NewArray("g", dims)
+					if rowDim < 0 {
+						setUnitSlice(gotArr, dim, u, got)
+					} else {
+						setUnitSliceRows(gotArr, dim, u, rowDim, lo, hi, got)
+					}
+					for f := range wantArr.Data {
+						if gotArr.Data[f] != wantArr.Data[f] {
+							t.Fatalf("dims=%v dim=%d u=%d row=(%d,%d,%d): scatter flat %d = %v, oracle %v",
+								dims, dim, u, rowDim, lo, hi, f, gotArr.Data[f], wantArr.Data[f])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGhostListsSortedUnique guards the invariant the sort/dedup removal
+// rests on: ghost lists come out ascending and duplicate-free for random
+// ownerships.
+func TestGhostListsSortedUnique(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		slaves := 2 + r.Intn(5)
+		units := slaves + r.Intn(30)
+		o := core.NewBlockOwnership(units, slaves)
+		for u := 0; u < units; u++ {
+			to := r.Intn(slaves)
+			if o.OwnerOf(u) != to {
+				if err := o.Apply(core.Move{From: o.OwnerOf(u), To: to, Units: []int{u}}); err != nil {
+					return false
+				}
+			}
+			if r.Intn(5) == 0 {
+				o.Deactivate(u)
+			}
+		}
+		for _, delta := range []int{-2, -1, 1, 2} {
+			for s := 0; s < slaves; s++ {
+				needs := ghostNeeds(o, s, delta)
+				for i := 1; i < len(needs); i++ {
+					if needs[i] <= needs[i-1] {
+						return false
+					}
+				}
+				sup := ghostSupplies(o, s, delta)
+				for i := 1; i < len(sup); i++ {
+					if sup[i].Unit <= sup[i-1].Unit {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestGhostNeedsAndSuppliesMatch(t *testing.T) {
 	// Global invariant: across all slaves, every need has exactly one
 	// matching supply, for any ownership and delta.

@@ -1,0 +1,38 @@
+package dlb
+
+import "repro/internal/loopir"
+
+// Exported entry points for the data-plane experiment (cmd/dlbbench
+// -exp plane), which measures the contiguous-copy kernels against the
+// element-walk oracle from outside the package. They are thin aliases of
+// the internal functions the runtime itself uses; nothing else should
+// call them.
+
+// UnitGather is unitSlice: the run-decomposed contiguous-copy gather.
+func UnitGather(a *loopir.Array, dim, u int) []float64 {
+	return unitSlice(a, dim, u)
+}
+
+// UnitScatter is setUnitSlice: the contiguous-copy write-back.
+func UnitScatter(a *loopir.Array, dim, u int, vals []float64) {
+	setUnitSlice(a, dim, u, vals)
+}
+
+// UnitGatherWalk is the per-element closure walk the fast path replaced —
+// the baseline (and oracle) the experiment compares against.
+func UnitGatherWalk(a *loopir.Array, dim, u int) []float64 {
+	out := make([]float64, 0, unitSize(a, dim))
+	forEachUnitElem(a, dim, u, -1, 0, 0, func(flat int) {
+		out = append(out, a.Data[flat])
+	})
+	return out
+}
+
+// UnitScatterWalk is the per-element write-back baseline.
+func UnitScatterWalk(a *loopir.Array, dim, u int, vals []float64) {
+	i := 0
+	forEachUnitElem(a, dim, u, -1, 0, 0, func(flat int) {
+		a.Data[flat] = vals[i]
+		i++
+	})
+}

@@ -1,0 +1,22 @@
+package wire
+
+import "testing"
+
+// TestCodecBandwidthOrdering pins the property the master's move-cost
+// prior relies on: the measured binary data plane is faster than gob, so
+// seeding cluster.Config.Bandwidth from the negotiated codec yields a
+// smaller per-unit cost (and thus a shorter adaptive period) on binary
+// runs. Values are cached, so repeated calls must agree.
+func TestCodecBandwidthOrdering(t *testing.T) {
+	gob := CodecBandwidth(false)
+	bin := CodecBandwidth(true)
+	if gob <= 0 || bin <= 0 {
+		t.Fatalf("non-positive bandwidth: gob %g, binary %g", gob, bin)
+	}
+	if bin <= gob {
+		t.Errorf("binary codec measured no faster than gob: %g <= %g bytes/s", bin, gob)
+	}
+	if again := CodecBandwidth(true); again != bin {
+		t.Errorf("bandwidth not cached: %g then %g", bin, again)
+	}
+}

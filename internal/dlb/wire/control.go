@@ -62,6 +62,14 @@ type StartMsg struct {
 	// run is already underway; initial connections get a RosterMsg once
 	// every slave has handshaked).
 	Roster map[int]string
+	// Codec offers the data-plane codec (CodecBinary or ""). Binary frames
+	// flow on this connection only if the slave's HelloMsg confirms the
+	// offer; an old master leaves the field empty (gob's zero value) and
+	// everything stays gob.
+	Codec string
+	// Codecs seeds the per-peer codec table alongside Roster on join
+	// connections.
+	Codecs map[int]string
 }
 
 // HelloMsg is the slave's side of the handshake. On a master-dialed
@@ -82,6 +90,10 @@ type HelloMsg struct {
 	PeerAddr string
 	// Join marks a slave-initiated connection asking for a joiner slot.
 	Join bool
+	// Codec accepts the StartMsg's codec offer (CodecBinary) or declines
+	// it (""). An old slave's hello decodes with the field empty, so the
+	// master falls back to gob for that peer.
+	Codec string
 }
 
 // RosterMsg distributes the node id → listener address table. The master
@@ -90,12 +102,21 @@ type HelloMsg struct {
 // peers directly (work never relays through the master).
 type RosterMsg struct {
 	Addrs map[int]string
+	// Codecs records each node's negotiated data-plane codec, so a slave
+	// dialing a peer knows whether it may send binary frames there. Absent
+	// entries (and rosters from old masters) mean gob.
+	Codecs map[int]string
 }
 
 // PeerHelloMsg identifies the dialing slave on a slave↔slave connection;
 // it is the first and only control frame there.
 type PeerHelloMsg struct {
 	From int
+	// Codec announces the dialer's data-plane codec: the accepting side
+	// may send binary frames back on this connection iff it is CodecBinary
+	// (the dialer's own sends are governed by the roster's entry for the
+	// acceptor).
+	Codec string
 }
 
 // RejectMsg refuses a handshake. Code is one of the Reject* constants.

@@ -1,10 +1,12 @@
 // Package wire gives the dlb master/slave protocol a real network
-// encoding: length-prefixed gob frames carrying the same message types the
+// encoding: length-prefixed frames carrying the same message types the
 // simulated runtime exchanges (status, instruction, work movement, slices,
-// scatter and gather). It demonstrates that the protocol is wire-ready —
-// the simulated cluster's tagged messages map one-to-one onto TCP frames —
-// and provides the conn/listener plumbing a multi-host deployment would
-// use.
+// scatter and gather). Two codecs share one connection: gob for the small
+// self-describing control messages, and a hand-rolled little-endian binary
+// layout (codec.go) for the bulk float-bearing data plane. Each frame's
+// length prefix carries a codec bit, so the two interleave freely; the
+// right to send binary is negotiated during the handshake and old peers
+// transparently fall back to all-gob.
 package wire
 
 import (
@@ -13,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dlb"
@@ -28,8 +31,13 @@ type Envelope struct {
 // DefaultMaxFrame bounds a frame to guard against corrupt length prefixes
 // (and, on a real network, against a hostile or confused peer allocating
 // unbounded memory on the receiver). Override per connection with
-// Conn.SetMaxFrame.
+// Conn.SetMaxFrame. It must stay below binaryFrameBit: the prefix's top
+// bit marks the frame's codec, not its size.
 const DefaultMaxFrame = 1 << 30
+
+// binaryFrameBit marks a frame as binary-codec in the length prefix's top
+// bit. Gob frames (and every frame an old peer emits) have it clear.
+const binaryFrameBit = 1 << 31
 
 // FrameLimitError reports a frame whose declared or actual size exceeds the
 // connection's limit. It distinguishes a policy rejection from transport
@@ -70,12 +78,13 @@ func init() {
 }
 
 // Conn sends and receives envelopes over a byte stream with 4-byte
-// big-endian length prefixes.
+// big-endian length prefixes (top bit: codec flag).
 type Conn struct {
-	rw  io.ReadWriter
-	fr  *framed
-	enc *gob.Encoder
-	dec *gob.Decoder
+	rw     io.ReadWriter
+	fr     *framed
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	binary bool // negotiated: bulk messages go out on the binary codec
 }
 
 // NewConn wraps a stream. Gob streams are stateful, so a Conn must be used
@@ -89,19 +98,57 @@ func NewConn(rw io.ReadWriter) *Conn {
 // Oversized frames fail with a *FrameLimitError. Non-positive limits
 // restore the default.
 func (c *Conn) SetMaxFrame(n int) {
-	if n <= 0 {
+	if n <= 0 || n > DefaultMaxFrame {
 		n = DefaultMaxFrame
 	}
 	c.fr.limit = n
 }
 
-// Send writes one envelope.
+// SetBinary grants (or revokes) the right to send bulk messages on the
+// binary codec. Call it only after the handshake has confirmed the peer
+// negotiated CodecBinary; receiving binary needs no grant — any Conn
+// decodes both codecs. Send and SetBinary must come from the same
+// goroutine (the writer), like the gob encoder itself.
+func (c *Conn) SetBinary(on bool) { c.binary = on }
+
+// Binary reports whether bulk sends use the binary codec.
+func (c *Conn) Binary() bool { return c.binary }
+
+// Send writes one envelope: on a binary-negotiated connection the bulk
+// float-bearing payloads (codec.go) go out as one binary frame from a
+// pooled scratch buffer; everything else is gob.
 func (c *Conn) Send(e Envelope) error {
+	if c.binary {
+		bp := encBufPool.Get().(*[]byte)
+		b, err := appendBinaryEnvelope((*bp)[:0], e)
+		if err == nil {
+			*bp = b[:0]
+			_, err = c.fr.writeFrame(b, true)
+			encBufPool.Put(bp)
+			return err
+		}
+		encBufPool.Put(bp)
+		if err != errNoBinary {
+			return err
+		}
+	}
 	return c.enc.Encode(e)
 }
 
-// Recv reads one envelope.
+// Recv reads one envelope of either codec.
 func (c *Conn) Recv() (Envelope, error) {
+	for len(c.fr.buf) == 0 {
+		payload, bin, err := c.fr.readFrame()
+		if err != nil {
+			return Envelope{}, err
+		}
+		if bin {
+			return decodeBinaryEnvelope(payload)
+		}
+		c.fr.buf = payload
+	}
+	// A gob frame (or the remainder of one): the decoder pulls the rest of
+	// the value's frames through framed.Read as it needs them.
 	var e Envelope
 	if err := c.dec.Decode(&e); err != nil {
 		return Envelope{}, err
@@ -109,46 +156,129 @@ func (c *Conn) Recv() (Envelope, error) {
 	return e, nil
 }
 
-// framed adapts a stream to gob with explicit length-prefixed frames so a
-// reader can never over-read past a message boundary (gob normally manages
-// its own framing; the explicit prefix makes the protocol language-neutral
-// at the transport level and lets non-gob tooling skip messages).
+// Release returns the connection's grown frame buffer to the pool. Call it
+// once, when the connection is torn down (netrun's router does); the Conn
+// allocates a fresh buffer if it is used again.
+func (c *Conn) Release() { c.fr.release() }
+
+// frameBufPool recycles inbound frame buffers across connections, so a
+// transport that churns links (joiners, reconnects) does not re-grow a
+// fresh buffer per connection.
+var frameBufPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// framed adapts a stream to explicit length-prefixed frames so a reader
+// can never over-read past a message boundary, and so each frame can carry
+// its codec in the prefix's top bit. Gob rides on Read/Write (one gob
+// message segment per frame); binary envelopes use readFrame/writeFrame
+// directly. The inbound buffer is reused across frames — a frame is always
+// fully consumed before the next one is read — so steady-state receiving
+// allocates nothing.
 type framed struct {
 	rw    io.ReadWriter
 	limit int
-	buf   []byte // unread remainder of the current inbound frame
+	buf   []byte  // unread remainder of the current inbound gob frame
+	store *[]byte // pooled backing for inbound frames, grown once
 }
 
-func (f *framed) Write(p []byte) (int, error) {
+// readFrame reads one whole frame, returning its payload and codec. The
+// payload aliases the reused frame buffer: it is valid only until the next
+// readFrame (decoders must copy out what outlives the frame — the binary
+// decoder's arena does).
+func (f *framed) readFrame() ([]byte, bool, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(f.rw, hdr[:]); err != nil {
+		return nil, false, err
+	}
+	word := binary.BigEndian.Uint32(hdr[:])
+	bin := word&binaryFrameBit != 0
+	n := int(word &^ binaryFrameBit)
+	if n > f.limit {
+		return nil, false, &FrameLimitError{Size: n, Limit: f.limit}
+	}
+	if f.store == nil {
+		f.store = frameBufPool.Get().(*[]byte)
+	}
+	if cap(*f.store) < n {
+		*f.store = make([]byte, 0, n)
+	}
+	payload := (*f.store)[:n]
+	if _, err := io.ReadFull(f.rw, payload); err != nil {
+		return nil, false, err
+	}
+	return payload, bin, nil
+}
+
+func (f *framed) release() {
+	if f.store != nil {
+		frameBufPool.Put(f.store)
+		f.store = nil
+		f.buf = nil
+	}
+}
+
+func (f *framed) writeFrame(p []byte, bin bool) (int, error) {
 	if len(p) > f.limit {
 		return 0, &FrameLimitError{Size: len(p), Limit: f.limit}
 	}
 	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(p)))
+	word := uint32(len(p))
+	if bin {
+		word |= binaryFrameBit
+	}
+	binary.BigEndian.PutUint32(hdr[:], word)
 	if _, err := f.rw.Write(hdr[:]); err != nil {
 		return 0, err
 	}
 	return f.rw.Write(p)
 }
 
+// Write frames one gob stream segment (the gob encoder writes each Encode
+// through here, possibly as several segments).
+func (f *framed) Write(p []byte) (int, error) {
+	return f.writeFrame(p, false)
+}
+
+// Read serves the gob decoder. A binary frame can never legitimately start
+// inside a gob value — writers emit whole envelopes — so hitting one here
+// is stream corruption.
 func (f *framed) Read(p []byte) (int, error) {
 	for len(f.buf) == 0 {
-		var hdr [4]byte
-		if _, err := io.ReadFull(f.rw, hdr[:]); err != nil {
+		payload, bin, err := f.readFrame()
+		if err != nil {
 			return 0, err
 		}
-		n := binary.BigEndian.Uint32(hdr[:])
-		if int64(n) > int64(f.limit) {
-			return 0, &FrameLimitError{Size: int(n), Limit: f.limit}
+		if bin {
+			return 0, corruptErr("binary frame inside a gob value")
 		}
-		f.buf = make([]byte, n)
-		if _, err := io.ReadFull(f.rw, f.buf); err != nil {
-			return 0, err
-		}
+		f.buf = payload
 	}
 	n := copy(p, f.buf)
 	f.buf = f.buf[n:]
 	return n, nil
+}
+
+// ReadByte lets the gob decoder use framed directly instead of wrapping it
+// in a bufio.Reader, whose readahead could steal bytes of a following
+// frame.
+func (f *framed) ReadByte() (byte, error) {
+	for len(f.buf) == 0 {
+		payload, bin, err := f.readFrame()
+		if err != nil {
+			return 0, err
+		}
+		if bin {
+			return 0, corruptErr("binary frame inside a gob value")
+		}
+		f.buf = payload
+	}
+	b := f.buf[0]
+	f.buf = f.buf[1:]
+	return b, nil
 }
 
 // Listener accepts slave connections for a wire master.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -424,5 +425,38 @@ func TestNetOverhead(t *testing.T) {
 	}
 	if out := RenderNetOverhead(rows); len(out) == 0 {
 		t.Error("empty rendering")
+	}
+}
+
+func TestPlane(t *testing.T) {
+	rep, err := Plane(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 12 {
+		t.Fatalf("got %d rows, want 12 (6 benches x 2 variants)", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s/%s: non-positive ns/op", r.Bench, r.Variant)
+		}
+	}
+	// The optimizations must win on the payloads they were built for
+	// (loose bounds here — the strict thresholds live in the full-scale
+	// benchmarks; quick-scale payloads are small).
+	for _, b := range []string{"wire-codec/work", "move-cost", "unit-copy/2d-row"} {
+		if s := rep.Speedups[b]; s <= 1 {
+			t.Errorf("%s: speedup %.2f, want > 1", b, s)
+		}
+	}
+	if out := RenderPlane(rep); !strings.Contains(out, "speedups") {
+		t.Errorf("render missing speedups:\n%s", out)
+	}
+	var parsed PlaneReport
+	if err := json.Unmarshal([]byte(PlaneJSON(rep)), &parsed); err != nil {
+		t.Fatalf("BENCH_plane.json is not valid JSON: %v", err)
+	}
+	if len(parsed.Rows) != len(rep.Rows) {
+		t.Errorf("JSON round trip lost rows: %d != %d", len(parsed.Rows), len(rep.Rows))
 	}
 }

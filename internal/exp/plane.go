@@ -1,0 +1,270 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/dlb"
+	"repro/internal/dlb/wire"
+	"repro/internal/loopir"
+)
+
+// The data-plane experiment: how much of the distributed runtime's
+// movement cost the binary bulk codec and the contiguous-copy kernels
+// remove. Each row is one testing.Benchmark measurement; the speedup map
+// pairs each optimized variant with its baseline. The same comparisons
+// exist as go benchmarks (BenchmarkWireCodec, BenchmarkMoveCost in
+// internal/dlb/wire, BenchmarkUnitCopy in internal/dlb); this driver
+// renders them as an experiment artifact plus machine-readable JSON.
+
+// PlaneRow is one benchmark measurement.
+type PlaneRow struct {
+	Bench       string  `json:"bench"`   // e.g. "wire-codec/work"
+	Variant     string  `json:"variant"` // "gob"/"binary" or "walk"/"copy"
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"payload_bytes"` // wire or moved bytes per op
+	MBPerSec    float64 `json:"mb_per_sec"`
+}
+
+// PlaneReport is the experiment's result: all rows plus the
+// baseline-over-optimized time ratios (">1" means the optimization wins).
+type PlaneReport struct {
+	Rows     []PlaneRow         `json:"rows"`
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+// planeWorkMsg mirrors the wire benchmark's representative work movement,
+// scaled by the experiment scale.
+func planeWorkMsg(units, elems int) wire.Envelope {
+	w := dlb.WorkMsg{Data: map[string][][]float64{}, Ghosts: map[string]map[int][]float64{}}
+	for _, arr := range []string{"b", "c"} {
+		var slices [][]float64
+		for u := 0; u < units; u++ {
+			col := make([]float64, elems)
+			for i := range col {
+				col[i] = float64(u*elems + i)
+			}
+			slices = append(slices, col)
+		}
+		w.Data[arr] = slices
+		w.Ghosts[arr] = map[int][]float64{units: make([]float64, elems)}
+	}
+	for u := 0; u < units; u++ {
+		w.Units = append(w.Units, u)
+	}
+	return wire.Envelope{Tag: "work", From: 1, Payload: w}
+}
+
+func planeCheckpointMsg(units, elems int) wire.Envelope {
+	owned := map[int][]float64{}
+	for u := 0; u < units; u++ {
+		col := make([]float64, elems)
+		for i := range col {
+			col[i] = float64(u + i)
+		}
+		owned[u] = col
+	}
+	return wire.Envelope{Tag: "ckpt", From: 2, Payload: dlb.CheckpointMsg{
+		Epoch: 1, Seq: 3, Slave: 2, Hook: 40, Phase: 8, NextContact: 44,
+		Owned: map[string]map[int][]float64{"b": owned},
+		Red:   map[string][]float64{"res": {0.5}},
+		Meta:  true, Slaves: 4,
+		Owner:      make([]int, 2*units),
+		Active:     make([]bool, 2*units),
+		Replicated: map[string][]float64{"p": make([]float64, 512)},
+		RedSnap:    map[string][]float64{"res": {0.25}},
+	}}
+}
+
+// benchRow runs fn under testing.Benchmark and records it.
+func benchRow(bench, variant string, payloadBytes int64, fn func(b *testing.B)) PlaneRow {
+	r := testing.Benchmark(fn)
+	ns := float64(r.NsPerOp())
+	mbps := 0.0
+	if ns > 0 {
+		mbps = float64(payloadBytes) / ns * 1e9 / 1e6
+	}
+	return PlaneRow{
+		Bench:       bench,
+		Variant:     variant,
+		NsPerOp:     ns,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  payloadBytes,
+		MBPerSec:    mbps,
+	}
+}
+
+// codecBench measures one encode+decode round trip per iteration on a
+// reused connection pair (gob's type dictionary and the pooled buffers
+// warm, the steady state of a live link).
+func codecBench(env wire.Envelope, binary bool) (int64, func(b *testing.B)) {
+	var sz bytes.Buffer
+	c := wire.NewConn(&sz)
+	c.SetBinary(binary)
+	if err := c.Send(env); err != nil {
+		panic(err)
+	}
+	size := int64(sz.Len())
+	return size, func(b *testing.B) {
+		var buf bytes.Buffer
+		send := wire.NewConn(&buf)
+		send.SetBinary(binary)
+		recv := wire.NewConn(&buf)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := send.Send(env); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := recv.Recv(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Plane runs the data-plane microbenchmarks: wire codec (gob vs binary)
+// on the work-movement and checkpoint payloads, sender-side move cost,
+// and the unit copy kernels (element walk vs contiguous copy) on the
+// shapes the runtime moves.
+func Plane(s Scale) (*PlaneReport, error) {
+	units, elems := 16, 2000
+	ckUnits, ckElems := 32, 1000
+	side := 512
+	if s.MM <= Quick.MM { // reduced scale for tests
+		units, elems = 4, 200
+		ckUnits, ckElems = 8, 100
+		side = 64
+	}
+	rep := &PlaneReport{Speedups: map[string]float64{}}
+	addPair := func(bench string, base, opt PlaneRow) {
+		rep.Rows = append(rep.Rows, base, opt)
+		if opt.NsPerOp > 0 {
+			rep.Speedups[bench] = base.NsPerOp / opt.NsPerOp
+		}
+	}
+
+	// Wire codec round trips.
+	for _, c := range []struct {
+		name string
+		env  wire.Envelope
+	}{
+		{"wire-codec/work", planeWorkMsg(units, elems)},
+		{"wire-codec/ckpt", planeCheckpointMsg(ckUnits, ckElems)},
+	} {
+		gsz, gfn := codecBench(c.env, false)
+		bsz, bfn := codecBench(c.env, true)
+		addPair(c.name, benchRow(c.name, "gob", gsz, gfn), benchRow(c.name, "binary", bsz, bfn))
+	}
+
+	// Sender-side move cost: encode+frame only, the quantity the
+	// balancer's MoveCostModel observes.
+	env := planeWorkMsg(units, elems)
+	moveBench := func(binary bool) (int64, func(b *testing.B)) {
+		var sz bytes.Buffer
+		c := wire.NewConn(&sz)
+		c.SetBinary(binary)
+		if err := c.Send(env); err != nil {
+			panic(err)
+		}
+		size := int64(sz.Len())
+		return size, func(b *testing.B) {
+			var buf bytes.Buffer
+			conn := wire.NewConn(&buf)
+			conn.SetBinary(binary)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := conn.Send(env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	gsz, gfn := moveBench(false)
+	bsz, bfn := moveBench(true)
+	addPair("move-cost", benchRow("move-cost", "gob", gsz, gfn), benchRow("move-cost", "binary", bsz, bfn))
+
+	// Unit copy kernels: gather+scatter of one unit, walk vs copy.
+	for _, c := range []struct {
+		name string
+		dims []int
+		dim  int
+	}{
+		{"unit-copy/2d-row", []int{side, side}, 0},
+		{"unit-copy/2d-col", []int{side, side}, 1},
+		{"unit-copy/3d-mid", []int{side / 8, side / 8, side / 8}, 1},
+	} {
+		a := loopir.NewArray("a", c.dims)
+		for i := range a.Data {
+			a.Data[i] = float64(i)
+		}
+		u := c.dims[c.dim] / 2
+		moved := int64(8 * len(a.Data) / c.dims[c.dim])
+		walk := benchRow(c.name, "walk", moved, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				vals := dlb.UnitGatherWalk(a, c.dim, u)
+				dlb.UnitScatterWalk(a, c.dim, u, vals)
+			}
+		})
+		fast := benchRow(c.name, "copy", moved, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				vals := dlb.UnitGather(a, c.dim, u)
+				dlb.UnitScatter(a, c.dim, u, vals)
+			}
+		})
+		addPair(c.name, walk, fast)
+	}
+	return rep, nil
+}
+
+// RenderPlane formats the report as the experiment's text artifact.
+func RenderPlane(rep *PlaneReport) string {
+	var sb strings.Builder
+	sb.WriteString("Data-plane microbenchmarks: binary bulk codec and contiguous-copy kernels\n")
+	sb.WriteString("(each pair: baseline first, optimized second; speedup = baseline/optimized)\n\n")
+	fmt.Fprintf(&sb, "%-18s %-8s %14s %12s %14s %10s\n",
+		"bench", "variant", "ns/op", "allocs/op", "payload B", "MB/s")
+	prev := ""
+	for _, r := range rep.Rows {
+		if prev != "" && r.Bench != prev {
+			sb.WriteString("\n")
+		}
+		prev = r.Bench
+		fmt.Fprintf(&sb, "%-18s %-8s %14.0f %12d %14d %10.1f\n",
+			r.Bench, r.Variant, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.MBPerSec)
+	}
+	sb.WriteString("\nspeedups:\n")
+	for _, b := range planeBenchOrder(rep) {
+		fmt.Fprintf(&sb, "  %-18s %.2fx\n", b, rep.Speedups[b])
+	}
+	return sb.String()
+}
+
+func planeBenchOrder(rep *PlaneReport) []string {
+	var order []string
+	seen := map[string]bool{}
+	for _, r := range rep.Rows {
+		if !seen[r.Bench] {
+			seen[r.Bench] = true
+			order = append(order, r.Bench)
+		}
+	}
+	return order
+}
+
+// PlaneJSON renders the machine-readable artifact (BENCH_plane.json).
+func PlaneJSON(rep *PlaneReport) string {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "{}"
+	}
+	return string(b) + "\n"
+}

@@ -1,0 +1,91 @@
+package netrun
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dlb"
+	"repro/internal/dlb/wire"
+)
+
+// TestMixedCodecRun pins one daemon to gob while the rest accept the
+// master's binary offer: the run must negotiate per connection (the gob
+// peer is never sent a binary frame) and still complete bit-identical to
+// the sequential reference.
+func TestMixedCodecRun(t *testing.T) {
+	plan, params := testPlan(t, "mm", 48, 0)
+	var mu sync.Mutex
+	var lines []string
+	logf := func(format string, args ...interface{}) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+
+	addrs := make([]string, 4)
+	for i := 0; i < 4; i++ {
+		opt := ServerOptions{}
+		if i == 0 {
+			opt.Codec = wire.CodecGob // the one legacy-style peer
+		}
+		srv, err := NewServer(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = srv.Addr()
+		go srv.Serve()
+		t.Cleanup(func() { srv.Close() })
+	}
+
+	cfg := dlb.Config{
+		Plan:        plan,
+		Params:      params,
+		DLB:         true,
+		RealQuantum: 2 * time.Millisecond,
+	}
+	res, err := RunMaster(cfg, addrs, MasterOptions{Logf: logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBitIdentical(t, res, seqReference(t, plan, params))
+
+	mu.Lock()
+	defer mu.Unlock()
+	gob, bin := 0, 0
+	for _, l := range lines {
+		if !strings.Contains(l, "connected") {
+			continue
+		}
+		switch {
+		case strings.Contains(l, "codec gob"):
+			gob++
+		case strings.Contains(l, "codec binary"):
+			bin++
+		}
+	}
+	if gob != 1 || bin != 3 {
+		t.Errorf("expected 1 gob + 3 binary slaves, negotiated %d gob + %d binary:\n%s",
+			gob, bin, strings.Join(lines, "\n"))
+	}
+}
+
+// TestGobPinnedRun pins the whole run to gob from the master side — the
+// backward-compatible configuration must still be bit-identical.
+func TestGobPinnedRun(t *testing.T) {
+	plan, params := testPlan(t, "sor", 64, 4)
+	addrs, _ := startServers(t, 3, ServerOptions{})
+	cfg := dlb.Config{
+		Plan:        plan,
+		Params:      params,
+		DLB:         true,
+		RealQuantum: 2 * time.Millisecond,
+	}
+	res, err := RunMaster(cfg, addrs, MasterOptions{Codec: wire.CodecGob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBitIdentical(t, res, seqReference(t, plan, params))
+}

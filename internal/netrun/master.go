@@ -24,7 +24,12 @@ type MasterOptions struct {
 	// OnListen is called with the master's bound listener address before
 	// any slave is dialed (harnesses use it to learn the join address).
 	OnListen func(addr string)
-	Timeouts  Timeouts
+	Timeouts Timeouts
+	// Codec selects the data-plane codec offered to slaves:
+	// wire.CodecBinary (the default, "") or wire.CodecGob to pin the whole
+	// run to gob. Slaves that don't accept the offer fall back to gob
+	// individually — mixed-codec runs are fully supported.
+	Codec string
 	// Logf receives transport events (nil: silent).
 	Logf func(format string, args ...interface{})
 }
@@ -36,7 +41,8 @@ type netMaster struct {
 	to    Timeouts
 	spec  wire.RunSpec
 	hash  string
-	n     int // initial membership
+	offer string // data-plane codec offered in every StartMsg
+	n     int    // initial membership
 	total int
 	rt    *router
 	box   *mailbox
@@ -74,16 +80,22 @@ func RunMaster(cfg dlb.Config, slaveAddrs []string, opt MasterOptions) (*dlb.Res
 		return nil, err
 	}
 	hbEvery := fault.NewDetector(cfg.Detect, 1).Config().HeartbeatEvery
+	offer := wire.CodecBinary
+	if opt.Codec == wire.CodecGob {
+		offer = ""
+	}
 	m := &netMaster{
 		opt:   opt,
 		to:    opt.Timeouts.withDefaults(),
 		spec:  specFromConfig(cfg, pre.Grain, hbEvery),
 		hash:  PlanHash(cfg.Plan, pre.Exec, cfg.Params, pre.Grain),
+		offer: offer,
 		n:     n,
 		total: n + opt.ExtraSlots,
 		box:   newMailbox(),
 	}
 	m.rt = newRouter(cluster.MasterID, m.box, m.to, false)
+	m.rt.binarySelf = offer == wire.CodecBinary
 	for slot := n; slot < m.total; slot++ {
 		m.free = append(m.free, slot)
 	}
@@ -103,28 +115,35 @@ func RunMaster(cfg dlb.Config, slaveAddrs []string, opt MasterOptions) (*dlb.Res
 
 	// Dial and handshake the initial membership.
 	roster := map[int]string{}
+	codecs := map[int]string{}
 	for i, addr := range slaveAddrs {
-		peerAddr, err := m.handshakeSlave(i, addr)
+		peerAddr, codec, err := m.handshakeSlave(i, addr)
 		if err != nil {
 			return nil, fmt.Errorf("netrun: slave %d at %s: %w", i, addr, err)
 		}
 		roster[i] = peerAddr
+		codecs[i] = codec
 	}
-	m.rt.mergeRoster(roster)
+	m.rt.mergeRoster(roster, codecs)
 	// The roster is the first frame on every connection: FIFO delivery
-	// guarantees each slave knows its peers' addresses before any init
-	// scatter (and thus before any instruction that could move work).
+	// guarantees each slave knows its peers' addresses (and codecs) before
+	// any init scatter (and thus before any instruction that could move
+	// work).
 	for i := 0; i < n; i++ {
-		m.rt.send(i, wire.TagRoster, wire.RosterMsg{Addrs: roster})
+		m.rt.send(i, wire.TagRoster, wire.RosterMsg{Addrs: roster, Codecs: codecs})
 	}
 
 	m.acceptWG.Add(1)
 	go m.acceptLoop()
 
 	cc := cluster.Config{
-		Slaves:       n,
-		Quantum:      cfg.RealQuantum,
-		Bandwidth:    1e9, // move-cost priors; loopback TCP is effectively memcpy
+		Slaves:  n,
+		Quantum: cfg.RealQuantum,
+		// Move-cost prior: on loopback TCP movement cost is dominated by
+		// the codec, so seed the bandwidth from a measured encode+decode of
+		// the negotiated data plane rather than a constant. The balancer's
+		// EMA then keeps tracking the real measured movements (§4.3).
+		Bandwidth:    wire.CodecBandwidth(offer == wire.CodecBinary),
 		LinkLatency:  100 * time.Microsecond,
 		SendOverhead: 10 * time.Microsecond,
 	}
@@ -141,12 +160,13 @@ func (m *netMaster) shutdown() {
 	m.acceptWG.Wait()
 }
 
-// handshakeSlave dials one initial slave, sends the StartMsg, validates
-// the HelloMsg reply, and attaches the connection.
-func (m *netMaster) handshakeSlave(node int, addr string) (peerAddr string, err error) {
+// handshakeSlave dials one initial slave, sends the StartMsg (with the
+// codec offer), validates the HelloMsg reply, and attaches the connection
+// with the codec the slave accepted.
+func (m *netMaster) handshakeSlave(node int, addr string) (peerAddr, codec string, err error) {
 	nc, err := dialBackoff(addr, m.to.Dial)
 	if err != nil {
-		return "", err
+		return "", "", err
 	}
 	wc := wire.NewConn(nc)
 	nc.SetDeadline(time.Now().Add(m.to.Handshake))
@@ -158,24 +178,45 @@ func (m *netMaster) handshakeSlave(node int, addr string) (peerAddr string, err 
 		PlanHash:   m.hash,
 		MasterAddr: m.ln.Addr().String(),
 		Spec:       m.spec,
+		Codec:      m.offer,
 	}
 	if err := wc.Send(wire.Envelope{Tag: wire.TagStart, From: cluster.MasterID, Payload: start}); err != nil {
 		nc.Close()
-		return "", err
+		return "", "", err
 	}
 	h, err := recvHello(wc)
 	if err != nil {
 		nc.Close()
-		return "", err
+		return "", "", err
 	}
 	if err := m.checkHello(h); err != nil {
 		nc.Close()
-		return "", err
+		return "", "", err
 	}
 	nc.SetDeadline(time.Time{})
+	codec = m.negotiated(h)
+	wc.SetBinary(codec == wire.CodecBinary)
 	m.rt.attach(node, nc, wc, true)
-	m.logf("slave %d connected from %s (peer listener %s)", node, nc.RemoteAddr(), h.PeerAddr)
-	return h.PeerAddr, nil
+	m.logf("slave %d connected from %s (peer listener %s, codec %s)",
+		node, nc.RemoteAddr(), h.PeerAddr, codecName(codec))
+	return h.PeerAddr, codec, nil
+}
+
+// negotiated resolves the data-plane codec for one slave connection: the
+// binary codec needs both the master's offer and the slave's acceptance;
+// anything else (old slaves included) is gob.
+func (m *netMaster) negotiated(h wire.HelloMsg) string {
+	if m.offer == wire.CodecBinary && h.Codec == wire.CodecBinary {
+		return wire.CodecBinary
+	}
+	return ""
+}
+
+func codecName(c string) string {
+	if c == "" {
+		return wire.CodecGob
+	}
+	return c
 }
 
 // recvHello reads the slave's handshake reply, surfacing a RejectMsg as
@@ -284,6 +325,8 @@ func (m *netMaster) handleJoin(nc net.Conn) {
 		MasterAddr: m.ln.Addr().String(),
 		Spec:       m.spec,
 		Roster:     m.rt.rosterSnapshot(),
+		Codec:      m.offer,
+		Codecs:     m.rt.codecSnapshot(),
 	}
 	if err := wc.Send(wire.Envelope{Tag: wire.TagStart, From: cluster.MasterID, Payload: start}); err != nil {
 		m.releaseSlot(slot)
@@ -300,12 +343,14 @@ func (m *netMaster) handleJoin(nc net.Conn) {
 		return
 	}
 	nc.SetDeadline(time.Time{})
-	m.rt.mergeRoster(map[int]string{slot: full.PeerAddr})
+	codec := m.negotiated(full)
+	wc.SetBinary(codec == wire.CodecBinary)
+	m.rt.mergeRoster(map[int]string{slot: full.PeerAddr}, map[int]string{slot: codec})
 	m.rt.attach(slot, nc, wc, true)
 	// Tell everyone where the new node listens before its admission can
 	// direct any work movement toward it (FIFO per connection).
 	m.broadcastRoster()
-	m.logf("joiner admitted into slot %d from %s", slot, nc.RemoteAddr())
+	m.logf("joiner admitted into slot %d from %s (codec %s)", slot, nc.RemoteAddr(), codecName(codec))
 }
 
 func (m *netMaster) takeSlot() (int, bool) {
@@ -328,7 +373,8 @@ func (m *netMaster) releaseSlot(slot int) {
 
 func (m *netMaster) broadcastRoster() {
 	roster := m.rt.rosterSnapshot()
+	codecs := m.rt.codecSnapshot()
 	for _, id := range m.rt.linkedPeers() {
-		m.rt.send(id, wire.TagRoster, wire.RosterMsg{Addrs: roster})
+		m.rt.send(id, wire.TagRoster, wire.RosterMsg{Addrs: roster, Codecs: codecs})
 	}
 }

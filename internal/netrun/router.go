@@ -26,10 +26,16 @@ type router struct {
 	box       *mailbox
 	to        Timeouts
 	dialPeers bool
+	// binarySelf marks that this process negotiated the binary data-plane
+	// codec with the master; it may then send binary frames to any peer
+	// whose roster codec entry confirms the peer did too. Set before any
+	// link is attached, read by dial paths.
+	binarySelf bool
 
 	mu     sync.Mutex
 	links  map[int]*link
 	roster map[int]string
+	codecs map[int]string // peer id -> negotiated data-plane codec
 	down   map[int]bool
 	closed bool
 	wg     sync.WaitGroup
@@ -52,6 +58,7 @@ func newRouter(id int, box *mailbox, to Timeouts, dialPeers bool) *router {
 		dialPeers: dialPeers,
 		links:     map[int]*link{},
 		roster:    map[int]string{},
+		codecs:    map[int]string{},
 		down:      map[int]bool{},
 	}
 }
@@ -62,12 +69,17 @@ func (r *router) hasLink(peer int) bool {
 	return r.links[peer] != nil
 }
 
-func (r *router) mergeRoster(addrs map[int]string) {
+func (r *router) mergeRoster(addrs, codecs map[int]string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for id, addr := range addrs {
 		if addr != "" {
 			r.roster[id] = addr
+		}
+	}
+	for id, codec := range codecs {
+		if codec != "" {
+			r.codecs[id] = codec
 		}
 	}
 }
@@ -81,6 +93,28 @@ func (r *router) rosterSnapshot() map[int]string {
 		out[id] = addr
 	}
 	return out
+}
+
+// codecSnapshot copies the current peer codec table.
+func (r *router) codecSnapshot() map[int]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[int]string, len(r.codecs))
+	for id, c := range r.codecs {
+		out[id] = c
+	}
+	return out
+}
+
+// peerBinary reports whether binary frames may be sent to the peer: both
+// this process and the peer must have negotiated the binary codec.
+func (r *router) peerBinary(peer int) bool {
+	if !r.binarySelf {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.codecs[peer] == wire.CodecBinary
 }
 
 // linkedPeers lists the ids with a live connection.
@@ -125,7 +159,10 @@ func (r *router) send(to int, tag string, data interface{}) {
 }
 
 // dialPeer opens the lazy slave↔slave connection: dial with backoff,
-// identify ourselves with a PeerHelloMsg, register the link.
+// identify ourselves (and our codec) with a PeerHelloMsg, register the
+// link. Binary sends are enabled when the roster says the peer negotiated
+// binary too; the PeerHelloMsg's codec lets the acceptor make the same
+// decision for its own sends back.
 func (r *router) dialPeer(to int, addr string) *link {
 	nc, err := dialBackoff(addr, r.to.Dial)
 	if err != nil {
@@ -136,11 +173,16 @@ func (r *router) dialPeer(to int, addr string) *link {
 	}
 	nc.SetWriteDeadline(time.Now().Add(r.to.Handshake))
 	wc := wire.NewConn(nc)
-	if err := wc.Send(wire.Envelope{Tag: wire.TagPeerHello, From: r.id, Payload: wire.PeerHelloMsg{From: r.id}}); err != nil {
+	hello := wire.PeerHelloMsg{From: r.id}
+	if r.binarySelf {
+		hello.Codec = wire.CodecBinary
+	}
+	if err := wc.Send(wire.Envelope{Tag: wire.TagPeerHello, From: r.id, Payload: hello}); err != nil {
 		nc.Close()
 		return nil
 	}
 	nc.SetWriteDeadline(time.Time{})
+	wc.SetBinary(r.peerBinary(to))
 	return r.attach(to, nc, wc, false)
 }
 
@@ -215,6 +257,10 @@ func (r *router) writer(l *link) {
 
 func (r *router) reader(l *link, readLimited bool) {
 	defer r.wg.Done()
+	// The reader owns the connection's inbound frame buffer; when it exits
+	// the buffer goes back to the pool (the explicit release point of the
+	// data plane's receive storage).
+	defer l.wc.Release()
 	for {
 		if readLimited {
 			l.nc.SetReadDeadline(time.Now().Add(r.to.Read))
@@ -227,7 +273,7 @@ func (r *router) reader(l *link, readLimited bool) {
 		switch env.Tag {
 		case wire.TagRoster:
 			if ro, ok := env.Payload.(wire.RosterMsg); ok {
-				r.mergeRoster(ro.Addrs)
+				r.mergeRoster(ro.Addrs, ro.Codecs)
 			}
 		default:
 			r.box.put(cluster.Msg{From: env.From, Tag: env.Tag, Data: env.Payload})

@@ -29,6 +29,11 @@ type ServerOptions struct {
 	// observable on homogeneous test hardware.
 	Drag     float64
 	Timeouts Timeouts
+	// Codec selects the data-plane codec this daemon is willing to speak:
+	// wire.CodecBinary (the default, "") accepts a master's binary offer;
+	// wire.CodecGob pins this daemon to gob regardless of the offer —
+	// peers then talk gob to it while speaking binary among themselves.
+	Codec string
 	// Logf receives daemon events (nil: silent).
 	Logf func(format string, args ...interface{})
 }
@@ -161,6 +166,9 @@ func (s *Server) handleConn(nc net.Conn) {
 			nc.Close() // no active run; a stale peer of a finished session
 			return
 		}
+		// The dialer's one-way hello announces its codec; sends back to it
+		// may go binary when this session negotiated binary too.
+		wc.SetBinary(ph.Codec == wire.CodecBinary && sess.rt.binarySelf)
 		sess.rt.attach(ph.From, nc, wc, false)
 	default:
 		s.reject(wc, nc, wire.RejectMsg{Code: wire.RejectProtocol, Detail: fmt.Sprintf("unexpected first frame %q", env.Tag)})
@@ -204,9 +212,15 @@ func (s *Server) runSession(nc net.Conn, wc *wire.Conn, st wire.StartMsg, joiner
 		return
 	}
 
+	// Accept the master's binary-codec offer unless this daemon is pinned
+	// to gob. The acceptance goes back in the HelloMsg; binary frames flow
+	// only after both sides agree (old masters never offer, old slaves
+	// never accept — either way the zero value means gob).
+	wantBinary := st.Codec == wire.CodecBinary && s.opt.Codec != wire.CodecGob
 	box := newMailbox()
 	rt := newRouter(st.Node, box, s.to, true)
-	rt.mergeRoster(st.Roster)
+	rt.binarySelf = wantBinary
+	rt.mergeRoster(st.Roster, st.Codecs)
 	sess := &session{node: st.Node, rt: rt, box: box}
 	s.mu.Lock()
 	if s.sess != nil || s.closed {
@@ -225,16 +239,20 @@ func (s *Server) runSession(nc net.Conn, wc *wire.Conn, st wire.StartMsg, joiner
 		PeerAddr: s.advertise(),
 		Join:     joiner,
 	}
+	if wantBinary {
+		hello.Codec = wire.CodecBinary
+	}
 	if err := wc.Send(wire.Envelope{Tag: wire.TagHello, From: st.Node, Payload: hello}); err != nil {
 		s.clearSession(sess)
 		nc.Close()
 		return
 	}
 	nc.SetWriteDeadline(time.Time{})
+	wc.SetBinary(wantBinary)
 	rt.attach(cluster.MasterID, nc, wc, false)
 
-	s.logf("node %d: run started (%d slaves, %d slots, grain %d, joiner=%v)",
-		st.Node, st.Slaves, st.Total, pre.Grain, joiner)
+	s.logf("node %d: run started (%d slaves, %d slots, grain %d, joiner=%v, codec=%s)",
+		st.Node, st.Slaves, st.Total, pre.Grain, joiner, codecName(hello.Codec))
 	err = s.runSlave(sess, cfg, st, joiner, pre)
 	rt.close()
 	s.clearSession(sess)
