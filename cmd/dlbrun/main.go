@@ -83,6 +83,7 @@ func main() {
 	nodlb := flag.Bool("nodlb", false, "disable dynamic load balancing (static distribution)")
 	sync := flag.Bool("sync", false, "synchronous master interactions instead of pipelined")
 	showTrace := flag.Bool("trace", false, "print the per-phase balancing trace for slave 0")
+	showStats := flag.Bool("stats", false, "print the engine's event counters")
 	flopCost := flag.Duration("flopcost", time.Microsecond, "virtual CPU time per flop (1µs ≈ Sun 4/330)")
 	real := flag.Bool("real", false, "run for real: wall-clock goroutines instead of the simulated cluster")
 	drag := flag.Float64("drag", 1.0, "with -real: slow slave 0 by this factor (emulated loaded machine)")
@@ -264,30 +265,20 @@ func main() {
 		}
 	}
 
+	if *showStats && res.Counters != nil {
+		fmt.Println()
+		fmt.Print(res.Counters.Table("engine counters"))
+	}
+
 	if *showTrace && len(res.Trace) > 0 {
-		raw := &trace.Series{Name: "raw-rate"}
-		filt := &trace.Series{Name: "adjusted-rate"}
-		work := &trace.Series{Name: "work"}
-		maxRate := 0.0
-		for _, s := range res.Trace {
-			if s.Slave == 0 && s.RawRate > maxRate {
-				maxRate = s.RawRate
-			}
-		}
+		raw, filt, work := res.Series(0)
+		maxRate := raw.Max()
 		if maxRate == 0 {
 			maxRate = 1
 		}
 		even := float64(res.Exec.Units) / float64(slaves)
-		for _, s := range res.Trace {
-			if s.Slave != 0 {
-				continue
-			}
-			t := s.Time.Seconds()
-			raw.Append(t, s.RawRate/maxRate)
-			filt.Append(t, s.Filtered/maxRate)
-			work.Append(t, float64(s.Work)/even)
-		}
 		fmt.Println()
-		fmt.Print(trace.PlotASCII(72, 14, raw, filt, work))
+		fmt.Print(trace.PlotASCII(72, 14,
+			raw.Normalized(maxRate), filt.Normalized(maxRate), work.Normalized(even)))
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/loopir"
+	"repro/internal/metrics"
 	"repro/internal/vtime"
 )
 
@@ -138,6 +139,9 @@ type Result struct {
 	Moves, UnitsMoved int
 	// Trace holds Figure 9 samples when CollectTrace is set.
 	Trace []Sample
+	// Counters holds the engine's named event counters — the same names on
+	// every endpoint (simulated, wall-clock, TCP).
+	Counters metrics.Counters
 	// Fault-tolerant runs: recovery epochs started, checkpoints committed,
 	// slaves declared dead, joiner slots admitted, and the deterministic
 	// fault-handling event trace.
@@ -146,8 +150,8 @@ type Result struct {
 	Evicted     []int
 	Joined      []int
 	FaultLog    *fault.Log
-	// Owner is the final unit-to-slave ownership map (fault-tolerant runs
-	// only): the state of the replicated map when the run committed.
+	// Owner is the final unit-to-slave ownership map: the state of the
+	// replicated map when the run committed.
 	Owner []int
 }
 
@@ -224,79 +228,57 @@ func Run(cfg Config, cc cluster.Config) (*Result, error) {
 	c := cluster.New(k, simCC)
 
 	r := &Result{Exec: exec, Grain: grain}
-	var legacy *master
-	var mft *masterFT
+	var pol FaultPolicy = noFaultPolicy{}
+	var inj *fault.Injector
+	var flog *fault.Log
+	var hbEvery time.Duration
 	if ft {
-		flog := &fault.Log{}
+		flog = &fault.Log{}
 		r.FaultLog = flog
-		inj := fault.NewInjector(cfg.Fault)
-		hbEvery := fault.NewDetector(cfg.Detect, 1).Config().HeartbeatEvery
-		mft = &masterFT{
+		inj = fault.NewInjector(cfg.Fault)
+		hbEvery = fault.NewDetector(cfg.Detect, 1).Config().HeartbeatEvery
+		pol = &ftPolicy{log: flog}
+	}
+	eng := &engine{
+		cfg:     &cfg,
+		cc:      c.Config(),
+		initial: slaves,
+		total:   total,
+		exec:    exec,
+		inst:    masterInst,
+		res:     r,
+		pol:     pol,
+	}
+	c.Spawn("master", cluster.MasterID, func(p *vtime.Proc, n *cluster.Node) {
+		eng.runOn(&simEndpoint{p: p, n: n})
+	})
+	for i := 0; i < total; i++ {
+		s := &slave{
+			id:      i,
+			slaves:  slaves,
 			cfg:     &cfg,
-			cc:      c.Config(),
-			initial: slaves,
-			total:   total,
 			exec:    exec,
-			inst:    masterInst,
-			res:     r,
 			grain:   grain,
-			log:     flog,
+			fault:   slaveFaultFor(ft),
+			hbEvery: hbEvery,
 		}
-		c.Spawn("master", cluster.MasterID, func(p *vtime.Proc, n *cluster.Node) {
-			mft.runOn(&simEndpoint{p: p, n: n})
+		if i >= slaves {
+			s.joiner = true
+			s.joinAt = joins[i-slaves]
+		}
+		id := i
+		c.Spawn(fmt.Sprintf("slave%d", id), id, func(p *vtime.Proc, n *cluster.Node) {
+			// An injected crash (or a zombie's eviction) kills the process
+			// by panic; recover it so the proc dies silently, exactly as a
+			// failed workstation would. Legacy runs never inject faults, so
+			// the wrapper is inert there.
+			defer func() {
+				if rec := recover(); rec != nil && !isFaultExit(rec) {
+					panic(rec)
+				}
+			}()
+			s.runOn(newFaultEP(&simEndpoint{p: p, n: n}, id, inj, flog))
 		})
-		for i := 0; i < total; i++ {
-			s := &slave{
-				id:      i,
-				slaves:  slaves,
-				cfg:     &cfg,
-				exec:    exec,
-				grain:   grain,
-				ft:      true,
-				hbEvery: hbEvery,
-			}
-			if i >= slaves {
-				s.joiner = true
-				s.joinAt = joins[i-slaves]
-			}
-			id := i
-			c.Spawn(fmt.Sprintf("slave%d", id), id, func(p *vtime.Proc, n *cluster.Node) {
-				// An injected crash (or a zombie's eviction) kills the process
-				// by panic; recover it so the proc dies silently, exactly as a
-				// failed workstation would.
-				defer func() {
-					if rec := recover(); rec != nil && !isFaultExit(rec) {
-						panic(rec)
-					}
-				}()
-				s.runOn(newFaultEP(&simEndpoint{p: p, n: n}, id, inj, flog))
-			})
-		}
-	} else {
-		legacy = &master{
-			cfg:    &cfg,
-			cc:     c.Config(),
-			slaves: slaves,
-			exec:   exec,
-			inst:   masterInst,
-			res:    r,
-			grain:  grain,
-		}
-		c.Spawn("master", cluster.MasterID, func(p *vtime.Proc, n *cluster.Node) {
-			legacy.runOn(&simEndpoint{p: p, n: n})
-		})
-		for i := 0; i < slaves; i++ {
-			s := &slave{
-				id:     i,
-				slaves: slaves,
-				cfg:    &cfg,
-				exec:   exec,
-				grain:  grain,
-			}
-			c.Spawn(fmt.Sprintf("slave%d", i), i, func(p *vtime.Proc, n *cluster.Node) {
-				s.runOn(&simEndpoint{p: p, n: n})
-			})
-		}
 	}
 	if err := k.Run(); err != nil {
 		return nil, fmt.Errorf("dlb: %w", err)
@@ -307,16 +289,11 @@ func Run(cfg Config, cc cluster.Config) (*Result, error) {
 		n.FinishAt(k.Now())
 		r.Usage = append(r.Usage, n.Usage())
 	}
-	if ft {
-		if mft.err != nil {
-			return nil, mft.err
-		}
-		r.Final = mft.final
-		r.ComputeElapsed = mft.computeEnd - mft.computeStart
-	} else {
-		r.Final = legacy.final
-		r.ComputeElapsed = legacy.computeEnd - legacy.computeStart
+	if eng.err != nil {
+		return nil, eng.err
 	}
+	r.Final = eng.final
+	r.ComputeElapsed = eng.computeEnd - eng.computeStart
 	return r, nil
 }
 

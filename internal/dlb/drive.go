@@ -109,7 +109,7 @@ func RunMasterOn(ep Endpoint, cfg Config, cc cluster.Config, initial, total int,
 	}
 	flog := &fault.Log{}
 	r := &Result{Exec: pre.Exec, Grain: pre.Grain, FaultLog: flog}
-	mft := &masterFT{
+	eng := &engine{
 		cfg:     &cfg,
 		cc:      cc,
 		initial: initial,
@@ -117,8 +117,7 @@ func RunMasterOn(ep Endpoint, cfg Config, cc cluster.Config, initial, total int,
 		exec:    pre.Exec,
 		inst:    masterInst,
 		res:     r,
-		grain:   pre.Grain,
-		log:     flog,
+		pol:     &ftPolicy{log: flog},
 	}
 	defer func() {
 		if p := recover(); p != nil {
@@ -126,13 +125,13 @@ func RunMasterOn(ep Endpoint, cfg Config, cc cluster.Config, initial, total int,
 		}
 	}()
 	start := ep.Now()
-	mft.runOn(ep)
-	if mft.err != nil {
-		return nil, mft.err
+	eng.runOn(ep)
+	if eng.err != nil {
+		return nil, eng.err
 	}
 	r.Elapsed = ep.Now() - start
-	r.Final = mft.final
-	r.ComputeElapsed = mft.computeEnd - mft.computeStart
+	r.Final = eng.final
+	r.ComputeElapsed = eng.computeEnd - eng.computeStart
 	return r, nil
 }
 
@@ -158,7 +157,7 @@ func RunSlaveOn(ep Endpoint, cfg Config, id, slaves int, joiner bool, pre *Prepa
 		cfg:     &cfg,
 		exec:    pre.Exec,
 		grain:   pre.Grain,
-		ft:      true,
+		fault:   ftSlaveFault{},
 		hbEvery: hbEvery,
 		joiner:  joiner,
 	}

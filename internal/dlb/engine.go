@@ -1,0 +1,262 @@
+package dlb
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/loopir"
+	"repro/internal/metrics"
+)
+
+// engine is the central load-balancing process (§3.1) — the one master loop
+// every endpoint runs. It scatters the initial distribution, mirrors the
+// slave loop structure phase by phase, runs the core balancing algorithm on
+// the statuses it collects, sends instructions, and gathers the final data.
+// Everything fault-related — lease tracking, checkpoint cuts, epoch
+// rollback, joiner admission — lives behind the FaultPolicy; with the no-op
+// policy the engine reproduces the legacy deterministic runtime bit for
+// bit.
+type engine struct {
+	cfg     *Config
+	cc      cluster.Config
+	initial int // slaves participating from the start
+	total   int // slots including not-yet-admitted joiners
+	exec    *compile.Exec
+	inst    *loopir.Instance
+	res     *Result
+	pol     FaultPolicy
+
+	ep    Endpoint
+	plan  *compile.Plan
+	own   *core.Ownership
+	bal   *core.Balancer
+	setup balancerSetup
+
+	done      []bool
+	doneCount int
+
+	final        map[string]*loopir.Array
+	computeStart time.Duration
+	computeEnd   time.Duration
+	err          error
+}
+
+func (e *engine) runOn(ep Endpoint) {
+	e.ep = ep
+	e.plan = e.exec.Plan
+	if e.res.Counters == nil {
+		e.res.Counters = metrics.Counters{}
+	}
+
+	// Authoritative ownership + balancer.
+	own := core.NewBlockOwnership(e.exec.Units, e.initial)
+	lo, hi := e.exec.InitialActive()
+	for u := 0; u < own.Units(); u++ {
+		if u < lo || u >= hi {
+			own.Deactivate(u)
+		}
+	}
+	e.own = own
+	e.setup = newBalancerSetup(e.cfg, e.cc, e.exec, e.inst, e.initial)
+	e.bal = e.setup.newBalancer(own)
+	e.done = make([]bool, e.total)
+	e.pol.Init(e)
+
+	e.scatter()
+	e.computeStart = ep.Now()
+	e.pol.Started(e)
+
+	// Phase loop: one iteration per slave contact round.
+	for e.remaining() > 0 {
+		raw, ok := e.pol.CollectRound(e)
+		if !ok {
+			continue // a recovery restarted the epoch; collect afresh
+		}
+		if raw == nil {
+			break // every participant announced completion
+		}
+		e.handleRound(raw)
+	}
+	e.computeEnd = ep.Now()
+
+	e.pol.Commit(e)
+	e.gather()
+	e.res.Owner, _ = e.own.Snapshot()
+}
+
+// remaining counts participants that have not announced completion.
+func (e *engine) remaining() int {
+	n := 0
+	for _, id := range e.pol.Participants(e) {
+		if !e.done[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// scatter ships each initial slave its owned slices of the distributed
+// arrays and full copies of the replicated ones.
+func (e *engine) scatter() {
+	for sl := 0; sl < e.initial; sl++ {
+		msg := InitMsg{Owned: map[string]map[int][]float64{}, Replicated: map[string][]float64{}}
+		bytes := msgHeader
+		for arr, dim := range e.plan.DistArrays {
+			a := e.inst.Arrays[arr]
+			units := map[int][]float64{}
+			for _, u := range e.own.Owned(sl) {
+				vals := unitSlice(a, dim, u)
+				units[u] = vals
+				bytes += 8*len(vals) + 16
+			}
+			msg.Owned[arr] = units
+		}
+		for _, arr := range e.plan.Replicated {
+			a := e.inst.Arrays[arr]
+			vals := append([]float64(nil), a.Data...)
+			msg.Replicated[arr] = vals
+			bytes += 8 * len(vals)
+		}
+		e.ep.Send(sl, "init", bytes, msg)
+		e.res.Counters.Add("scatter_bytes", int64(bytes))
+	}
+}
+
+// handleRound runs the load-balancing decision for one complete round and
+// sends the (possibly checkpoint-preceded) instructions.
+func (e *engine) handleRound(raw map[int]StatusMsg) {
+	ids := e.pol.Participants(e)
+	first := raw[ids[0]]
+	phase, hookIdx := first.Phase, first.HookIndex
+	for _, id := range ids {
+		st := raw[id]
+		if st.Phase != phase || st.HookIndex != hookIdx {
+			panic(fmt.Sprintf("dlb: master: slave %d at phase %d/hook %d, slave %d at %d/%d",
+				id, st.Phase, st.HookIndex, ids[0], phase, hookIdx))
+		}
+	}
+	e.res.Phases++
+	e.res.Counters.Add("rounds", 1)
+	e.res.Counters.Add("status_reports", int64(len(raw)))
+	e.pol.RoundObserved(e)
+
+	e.ep.Charge(e.cfg.MasterDecisionCost)
+
+	// Mirror the slave control flow: retire completed work (§4.7).
+	meta := e.exec.Phases[hookIdx]
+	for u := 0; u < e.own.Units(); u++ {
+		if (u < meta.ActiveLo || u >= meta.ActiveHi) && e.own.IsActive(u) {
+			e.own.Deactivate(u)
+		}
+	}
+
+	var d core.Decision
+	if e.cfg.DLB {
+		slots := e.own.Slaves()
+		counts := e.own.ActiveCounts()
+		statuses := make([]core.Status, slots)
+		var sumRate float64
+		var nRate int
+		for _, id := range ids {
+			st := raw[id]
+			rate := 0.0
+			if st.Busy > 0 && st.Units > 0 {
+				rate = st.Units / st.Busy.Seconds()
+				sumRate += rate
+				nRate++
+			}
+			statuses[id] = core.Status{Rate: rate, MoveCost: st.MoveCost, InteractionCost: st.InterCost}
+		}
+		// A slave with no work cannot measure its capability; assume the
+		// mean of the others so it can win work back. Dead slots keep rate
+		// zero — the balancer's alive mask excludes them anyway.
+		if nRate > 0 {
+			mean := sumRate / float64(nRate)
+			for _, id := range ids {
+				if statuses[id].Rate == 0 && counts[id] == 0 {
+					statuses[id].Rate = mean
+				}
+			}
+		}
+		unitsPerHook := float64(meta.UnitsBetween)
+		if next := hookIdx + 1; next < len(e.exec.Phases) {
+			unitsPerHook = float64(e.exec.Phases[next].UnitsBetween)
+		}
+		d = e.bal.Step(statuses, unitsPerHook)
+		e.pol.NoteRates(d.FilteredRates)
+		e.res.Moves += len(d.Moves)
+		e.res.Counters.Add("moves", int64(len(d.Moves)))
+		for _, mv := range d.Moves {
+			e.res.UnitsMoved += len(mv.Units)
+			e.res.Counters.Add("units_moved", int64(len(mv.Units)))
+		}
+		if e.cfg.CollectTrace {
+			now := e.ep.Now()
+			work := e.own.ActiveCounts()
+			for _, id := range ids {
+				e.res.Trace = append(e.res.Trace, Sample{
+					Time:      now,
+					Phase:     phase,
+					Slave:     id,
+					RawRate:   statuses[id].Rate,
+					Filtered:  d.FilteredRates[id],
+					Work:      work[id],
+					SkipHooks: d.SkipHooks,
+					Period:    d.Period,
+				})
+			}
+		}
+	}
+
+	ckptSeq := e.pol.CheckpointSeq(e, phase, ids)
+
+	instr := InstrMsg{Phase: phase, HookIndex: hookIdx, Moves: d.Moves, SkipHooks: d.SkipHooks, Epoch: e.pol.Epoch(), CkptSeq: ckptSeq}
+	bytes := 64
+	for _, mv := range d.Moves {
+		bytes += 16 + 8*len(mv.Units)
+	}
+	for _, id := range ids {
+		e.ep.Send(id, "instr", bytes, instr)
+	}
+	e.res.Counters.Add("instr_bytes", int64(bytes)*int64(len(ids)))
+	e.pol.RoundSent(e)
+}
+
+// gather assembles the final arrays from the surviving participants. With a
+// fault policy a failure after completion was committed (the documented
+// post-done window) surfaces as a run error instead of a hang.
+func (e *engine) gather() {
+	final := map[string]*loopir.Array{}
+	for arr, a := range e.inst.Arrays {
+		final[arr] = a.Clone()
+	}
+	timeout := e.pol.GatherTimeout(e)
+	for range e.pol.Participants(e) {
+		var msg cluster.Msg
+		if timeout > 0 {
+			m, ok := recvTimeout(e.ep, cluster.AnySource, "gather", timeout)
+			if !ok {
+				e.err = fmt.Errorf("dlb: gather timed out after %v (slave failed after completion was committed)", timeout)
+				return
+			}
+			msg = m
+		} else {
+			msg = e.ep.Recv(cluster.AnySource, "gather")
+		}
+		g := msg.Data.(GatherMsg)
+		e.res.Counters.Add("gather_msgs", 1)
+		for arr, units := range g.Data {
+			dim := e.plan.DistArrays[arr]
+			for u, vals := range units {
+				setUnitSlice(final[arr], dim, u, vals)
+			}
+		}
+		for arr, vals := range g.Reduced {
+			copy(final[arr].Data, vals)
+		}
+	}
+	e.final = final
+}

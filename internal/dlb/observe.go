@@ -1,0 +1,24 @@
+package dlb
+
+import "repro/internal/trace"
+
+// Series converts the run's Figure 9 samples for one slave into trace
+// series: raw rate, filtered (adjusted) rate, and work assignment over
+// time. Every endpoint fills Trace through the same engine, so the series
+// are directly comparable across the simulated, wall-clock and TCP
+// runtimes.
+func (r *Result) Series(slave int) (raw, filtered, work *trace.Series) {
+	raw = &trace.Series{Name: "raw-rate"}
+	filtered = &trace.Series{Name: "adjusted-rate"}
+	work = &trace.Series{Name: "work"}
+	for _, s := range r.Trace {
+		if s.Slave != slave {
+			continue
+		}
+		t := s.Time.Seconds()
+		raw.Append(t, s.RawRate)
+		filtered.Append(t, s.Filtered)
+		work.Append(t, float64(s.Work))
+	}
+	return raw, filtered, work
+}

@@ -88,39 +88,32 @@ func RunReal(cfg Config, slaves int) (*Result, error) {
 	}
 
 	realCC := cluster.Config{
-		Slaves:       slaves,
-		Quantum:      cfg.RealQuantum,
-		Bandwidth:    1e9, // cost-model priors only; transfers are memory copies
+		Slaves:  slaves,
+		Quantum: cfg.RealQuantum,
+		// Cost-model prior only; transfers are in-process memory copies, so
+		// measure that plane the same way the TCP transport measures its
+		// negotiated codec.
+		Bandwidth:    memCopyBandwidth(),
 		LinkLatency:  10 * time.Microsecond,
 		SendOverhead: time.Microsecond,
 	}
 	r := &Result{Exec: exec, Grain: grain}
-	var m *master
-	var mft *masterFT
+	var pol FaultPolicy = noFaultPolicy{}
+	var flog *fault.Log
 	if ftMode {
-		flog := &fault.Log{} // written by the master goroutine only
+		flog = &fault.Log{} // written by the master goroutine only
 		r.FaultLog = flog
-		mft = &masterFT{
-			cfg:     &cfg,
-			cc:      realCC,
-			initial: slaves,
-			total:   total,
-			exec:    exec,
-			inst:    masterInst,
-			res:     r,
-			grain:   grain,
-			log:     flog,
-		}
-	} else {
-		m = &master{
-			cfg:    &cfg,
-			cc:     realCC,
-			slaves: slaves,
-			exec:   exec,
-			inst:   masterInst,
-			res:    r,
-			grain:  grain,
-		}
+		pol = &ftPolicy{log: flog}
+	}
+	eng := &engine{
+		cfg:     &cfg,
+		cc:      realCC,
+		initial: slaves,
+		total:   total,
+		exec:    exec,
+		inst:    masterInst,
+		res:     r,
+		pol:     pol,
 	}
 
 	errs := make(chan error, slaves+1)
@@ -159,20 +152,13 @@ func RunReal(cfg Config, slaves int) (*Result, error) {
 		inj = fault.NewInjector(cfg.Fault)
 		hbEvery = fault.NewDetector(cfg.Detect, 1).Config().HeartbeatEvery
 	}
-	if ftMode {
-		spawn("master", cluster.MasterID, mft.runOn)
-	} else {
-		spawn("master", cluster.MasterID, m.runOn)
-	}
+	spawn("master", cluster.MasterID, eng.runOn)
 	for i := 0; i < total; i++ {
-		s := &slave{id: i, slaves: slaves, cfg: &cfg, exec: exec, grain: grain}
-		if ftMode {
-			s.ft = true
-			s.hbEvery = hbEvery
-			if i >= slaves {
-				s.joiner = true
-				s.joinAt = joins[i-slaves]
-			}
+		s := &slave{id: i, slaves: slaves, cfg: &cfg, exec: exec, grain: grain,
+			fault: slaveFaultFor(ftMode), hbEvery: hbEvery}
+		if ftMode && i >= slaves {
+			s.joiner = true
+			s.joinAt = joins[i-slaves]
 		}
 		i := i
 		spawn(fmt.Sprintf("slave%d", i), i, func(ep Endpoint) {
@@ -197,16 +183,11 @@ func RunReal(cfg Config, slaves int) (*Result, error) {
 		}
 		r.Usage = append(r.Usage, u)
 	}
-	if ftMode {
-		if mft.err != nil {
-			return nil, mft.err
-		}
-		r.Final = mft.final
-		r.ComputeElapsed = mft.computeEnd - mft.computeStart
-	} else {
-		r.Final = m.final
-		r.ComputeElapsed = m.computeEnd - m.computeStart
+	if eng.err != nil {
+		return nil, eng.err
 	}
+	r.Final = eng.final
+	r.ComputeElapsed = eng.computeEnd - eng.computeStart
 	return r, nil
 }
 

@@ -45,8 +45,9 @@ type slave struct {
 	blockLo     int
 	blockHi     int
 
-	// Fault tolerance (zero values in legacy runs keep behavior identical).
-	ft            bool
+	// fault is the slave-side fault-tolerance policy; noSlaveFault keeps
+	// legacy behavior identical (the state below stays at zero values).
+	fault         slaveFault
 	epoch         int
 	alive         []bool // nil until the first recovery: everyone alive
 	ff            bool   // fast-forwarding control flow to ffUntil
@@ -98,7 +99,7 @@ func (s *slave) runOn(ep Endpoint) {
 		// An idle node: register at joinAt and wait to be adopted into a
 		// recovery epoch. If the run ends first, the master's shutdown
 		// EvictMsg releases us.
-		if !s.runJoiner() {
+		if !s.fault.join(s) {
 			return
 		}
 	} else {
@@ -128,7 +129,7 @@ func (s *slave) runOn(ep Endpoint) {
 	// termination announcement and the wait for the master's commit are part
 	// of the recoverable region: a slave that finished can still be rolled
 	// back if a peer died in the final round.
-	for !s.runEpoch() {
+	for !s.fault.runEpoch(s) {
 	}
 
 	// Final gather: ship every owned unit of every distributed array back
@@ -356,12 +357,10 @@ func (s *slave) execOwned(st *compile.OwnedLoop) {
 	if s.ff {
 		return
 	}
-	if s.ft {
-		// Long compute stretches between hooks must not starve the master's
-		// failure detector (the more work a slave inherits, the longer its
-		// silent stretches — exactly when false eviction hurts most).
-		s.maybeHeartbeat()
-	}
+	// Long compute stretches between hooks must not starve the master's
+	// failure detector (the more work a slave inherits, the longer its
+	// silent stretches — exactly when false eviction hurts most).
+	s.fault.heartbeat(s)
 	lo, hi := s.eval(st.Lo), s.eval(st.Hi)
 	if lo < 0 {
 		lo = 0
@@ -545,9 +544,7 @@ func (s *slave) execHook(st *compile.Hook) {
 		}
 		return
 	}
-	if s.ft {
-		s.maybeHeartbeat()
-	}
+	s.fault.heartbeat(s)
 	hv := s.hookVisit
 	s.hookVisit++
 	if !s.cfg.DLB || hv != s.nextContact {
@@ -582,7 +579,7 @@ func (s *slave) execHook(st *compile.Hook) {
 		// CPU overhead of the exchange, not time spent blocked waiting for
 		// the instruction (pipelining exists precisely to hide that wait).
 		s.lastInter = s.ep.Busy() - busyStart
-		instr := s.recvInstr()
+		instr := s.fault.recvInstr(s)
 		s.applyInstr(instr)
 		ckptSeq = instr.CkptSeq
 	} else {
@@ -593,23 +590,7 @@ func (s *slave) execHook(st *compile.Hook) {
 	}
 	s.phase++
 	s.busyMark = s.ep.Busy()
-	if s.ft {
-		s.maybeCheckpoint(hv, ckptSeq)
-	}
-}
-
-// recvInstr blocks for the next instruction of the current epoch.
-func (s *slave) recvInstr() InstrMsg {
-	if !s.ft {
-		return s.ep.Recv(cluster.MasterID, "instr").Data.(InstrMsg)
-	}
-	for {
-		instr := s.recvMaster("instr").Data.(InstrMsg)
-		if instr.Epoch == s.epoch {
-			return instr
-		}
-		// Stale pre-recovery instruction still in flight: drop it.
-	}
+	s.fault.checkpoint(s, hv, ckptSeq)
 }
 
 // applyInstr updates the active set, executes the work movement this slave
@@ -702,5 +683,82 @@ func (s *slave) applyMove(m core.Move) {
 		if err := s.own.Apply(m); err != nil {
 			panic(fmt.Sprintf("slave%d: %v", s.id, err))
 		}
+	}
+}
+
+// send is the slave-to-slave send (epoch-scoped tag under the FT policy).
+func (s *slave) send(to int, tag string, bytes int, data interface{}) {
+	s.ep.Send(to, s.fault.commTag(s, tag), bytes, data)
+}
+
+// recvPeer is the slave-to-slave blocking receive.
+func (s *slave) recvPeer(from int, tag string) cluster.Msg {
+	return s.fault.recvPeer(s, from, tag)
+}
+
+func (s *slave) peerAlive(o int) bool { return s.fault.peerAlive(s, o) }
+
+func (s *slave) designated() bool { return s.fault.designated(s) }
+
+// runTree executes the step tree once and announces termination: with
+// data-dependent break conditions the number of balancing phases is only
+// known here, at run time (§4.1).
+func (s *slave) runTree() {
+	s.execSteps(s.exec.Plan.Steps)
+	s.ep.Send(cluster.MasterID, "done", 64, StatusMsg{
+		Phase:     s.phase,
+		HookIndex: s.hookVisit,
+		Done:      true,
+		Epoch:     s.epoch,
+	})
+}
+
+// applyRecover installs a recovery epoch: restore the checkpointed arrays,
+// ownership and reduction state, adopt the (possibly repaired and grown)
+// membership, and arm the fast-forward that replays control flow up to the
+// checkpoint hook.
+func (s *slave) applyRecover(a AdoptMsg) {
+	plan := s.exec.Plan
+	s.epoch = a.Epoch
+	s.slaves = a.Slaves
+	s.alive = append([]bool(nil), a.Alive...)
+	s.own = core.OwnershipFromMap(a.Owner, a.Active, a.Slaves)
+	s.invalidateOwned()
+
+	for arr := range plan.DistArrays {
+		s.inst.Arrays[arr].Fill(nil)
+	}
+	for arr, units := range a.Owned {
+		dim := plan.DistArrays[arr]
+		for u, vals := range units {
+			setUnitSlice(s.inst.Arrays[arr], dim, u, vals)
+		}
+	}
+	for arr, vals := range a.Replicated {
+		copy(s.inst.Arrays[arr].Data, vals)
+	}
+	// Per-slave reduction values override the shared replicated copy.
+	for arr, vals := range a.Red {
+		copy(s.inst.Arrays[arr].Data, vals)
+	}
+	s.redSnap = map[string][]float64{}
+	for arr, vals := range a.RedSnap {
+		s.redSnap[arr] = append([]float64(nil), vals...)
+	}
+
+	s.phase = a.Phase
+	s.nextContact = a.NextContact
+	s.hookVisit = 0
+	s.ff = a.Hook >= 0
+	s.ffUntil = a.Hook
+	s.skipInstrOnce = !s.cfg.Synchronous && a.Hook >= 0
+	s.unitsDone = 0
+	s.busyMark = s.ep.Busy()
+	s.lastMove, s.lastInter = 0, 0
+	s.blockLo, s.blockHi = 0, 0
+	s.lastHB = s.ep.Now()
+	s.env = map[string]int{}
+	for k, v := range s.exec.Params {
+		s.env[k] = v
 	}
 }

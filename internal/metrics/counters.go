@@ -1,0 +1,38 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counters is a set of named monotonic event counters. The run-time engine
+// fills one per run — the same names on every endpoint (simulated,
+// wall-clock, TCP), so harnesses can compare runs across transports without
+// endpoint-specific accounting. Counters is not safe for concurrent
+// writers; the engine only writes from the master's context.
+type Counters map[string]int64
+
+// Add increments a counter by delta.
+func (c Counters) Add(name string, delta int64) { c[name] += delta }
+
+// Get returns a counter's value (0 when never incremented).
+func (c Counters) Get(name string) int64 { return c[name] }
+
+// Names lists the counter names in sorted order.
+func (c Counters) Names() []string {
+	names := make([]string, 0, len(c))
+	for name := range c {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table renders the counters as an aligned two-column table.
+func (c Counters) Table(title string) *Table {
+	t := &Table{Title: title, Headers: []string{"counter", "value"}}
+	for _, name := range c.Names() {
+		t.AddRow(name, fmt.Sprintf("%d", c[name]))
+	}
+	return t
+}

@@ -136,14 +136,21 @@ func RunMaster(cfg dlb.Config, slaveAddrs []string, opt MasterOptions) (*dlb.Res
 	m.acceptWG.Add(1)
 	go m.acceptLoop()
 
+	// Move-cost prior: on loopback TCP movement cost is dominated by the
+	// codec, so seed the bandwidth from a measured encode+decode of the
+	// negotiated data plane rather than a constant or the master's offer —
+	// one gob-pinned slave makes gob the plane work movements traverse.
+	// The balancer's EMA then keeps tracking real measured movements (§4.3).
+	binaryPlane := offer == wire.CodecBinary
+	for _, c := range codecs {
+		if c != wire.CodecBinary {
+			binaryPlane = false
+		}
+	}
 	cc := cluster.Config{
-		Slaves:  n,
-		Quantum: cfg.RealQuantum,
-		// Move-cost prior: on loopback TCP movement cost is dominated by
-		// the codec, so seed the bandwidth from a measured encode+decode of
-		// the negotiated data plane rather than a constant. The balancer's
-		// EMA then keeps tracking the real measured movements (§4.3).
-		Bandwidth:    wire.CodecBandwidth(offer == wire.CodecBinary),
+		Slaves:       n,
+		Quantum:      cfg.RealQuantum,
+		Bandwidth:    wire.CodecBandwidth(binaryPlane),
 		LinkLatency:  100 * time.Microsecond,
 		SendOverhead: 10 * time.Microsecond,
 	}

@@ -77,22 +77,6 @@ func rejectErr(r wire.RejectMsg) error {
 	return fmt.Errorf("%w: %s", base, r.Detail)
 }
 
-// reject composes the RejectMsg for a local validation failure.
-func rejectFor(err error, detail string) wire.RejectMsg {
-	code := wire.RejectProtocol
-	switch {
-	case errors.Is(err, ErrVersionMismatch):
-		code = wire.RejectVersion
-	case errors.Is(err, ErrPlanHashMismatch):
-		code = wire.RejectPlanHash
-	case errors.Is(err, ErrDuplicateID):
-		code = wire.RejectDuplicate
-	case errors.Is(err, ErrNoFreeSlots):
-		code = wire.RejectFull
-	}
-	return wire.RejectMsg{Code: code, Detail: detail}
-}
-
 // Timeouts bounds the transport's blocking operations. Zero fields take
 // defaults; the zero value is ready to use.
 type Timeouts struct {
