@@ -9,7 +9,7 @@
 //	dlbbench -out results/    # write <name>.txt (and fig9.csv) files
 //
 // Experiments: table1 fig5 fig6 fig7 fig8 fig9 pipeline grain refinements
-// lu baselines hetero fault net plane
+// lu baselines hetero fault net plane kernel
 package main
 
 import (
@@ -35,7 +35,7 @@ type artifact struct {
 }
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run (table1, fig5..fig9, pipeline, grain, refinements, lu, baselines, hetero, fault, net, plane, all)")
+	which := flag.String("exp", "all", "experiment to run (table1, fig5..fig9, pipeline, grain, refinements, lu, baselines, hetero, fault, net, plane, kernel, all)")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	out := flag.String("out", "", "directory to write artifacts to (default: stdout)")
 	flag.Parse()
@@ -158,6 +158,19 @@ func main() {
 			content: exp.RenderPlane(rep),
 			extra: map[string]string{
 				"BENCH_plane.json": exp.PlaneJSON(rep),
+			},
+		})
+	}
+	if want("kernel") {
+		rep, err := exp.Kernel(scale)
+		if err != nil {
+			fail(err)
+		}
+		artifacts = append(artifacts, artifact{
+			name:    "kernel",
+			content: exp.RenderKernel(rep),
+			extra: map[string]string{
+				"BENCH_kernel.json": exp.KernelJSON(rep),
 			},
 		})
 	}

@@ -29,6 +29,7 @@ func main() {
 	advertise := flag.String("advertise", "", "address peers should dial (default: the bound address)")
 	join := flag.String("join", "", "master join listener to volunteer into at startup (elastic join)")
 	drag := flag.Float64("drag", 1.0, "slow this daemon's computation by the given factor (emulated loaded machine)")
+	cores := flag.Int("cores", 0, "kernel worker goroutines (0: use the master's setting, -1: all hardware cores)")
 	codec := flag.String("codec", "", `data-plane codec: "" accepts the master's offer (binary), "gob" pins this daemon to gob`)
 	quiet := flag.Bool("quiet", false, "suppress event logging on stderr")
 	flag.Parse()
@@ -42,6 +43,7 @@ func main() {
 		Advertise: *advertise,
 		Join:      *join,
 		Drag:      *drag,
+		Cores:     *cores,
 		Codec:     *codec,
 		Logf:      logf,
 	})

@@ -86,6 +86,7 @@ func main() {
 	showStats := flag.Bool("stats", false, "print the engine's event counters")
 	flopCost := flag.Duration("flopcost", time.Microsecond, "virtual CPU time per flop (1µs ≈ Sun 4/330)")
 	real := flag.Bool("real", false, "run for real: wall-clock goroutines instead of the simulated cluster")
+	cores := flag.Int("cores", 0, "kernel worker goroutines per slave (0/1: sequential, -1: all hardware cores)")
 	drag := flag.Float64("drag", 1.0, "with -real: slow slave 0 by this factor (emulated loaded machine)")
 	faultSpec := flag.String("fault", "", "fault plan: crash:S@T | stall:S@T:D | drop:S@T:D | join@T (comma-separated; seconds)")
 	lease := flag.Duration("lease", 0, "failure-detection lease floor (with -fault; 0: default)")
@@ -171,6 +172,7 @@ func main() {
 		DLB:          !*nodlb,
 		Synchronous:  *sync,
 		FlopCost:     *flopCost,
+		Cores:        *cores,
 		CollectTrace: *showTrace,
 	}
 	if *faultSpec != "" {

@@ -25,6 +25,12 @@ type StatusMsg struct {
 	// Epoch is the recovery epoch this report belongs to (fault-tolerant
 	// runs only); the master drops reports from earlier epochs.
 	Epoch int
+	// Dispatch accounting, reported with the termination announcement:
+	// how many owned units ran through compiled range kernels vs the
+	// lowered interpreter fallback (engine counters kernel_units /
+	// fallback_units).
+	KernelUnits   int64
+	FallbackUnits int64
 }
 
 // InstrMsg is the master's reply: redistribution moves and the hook-skip

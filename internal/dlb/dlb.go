@@ -18,6 +18,7 @@ package dlb
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/cluster"
@@ -64,6 +65,11 @@ type Config struct {
 	ForcedGrain int
 	// CompileOpts carries the hook cost model for instantiation.
 	CompileOpts compile.Options
+	// Cores sets the per-slave worker count for partition-safe owned
+	// loops: 0 or 1 runs sequentially (the default — simulated schedules
+	// stay bit-identical to earlier releases), -1 uses every hardware
+	// core, N > 1 uses exactly N workers.
+	Cores int
 	// CollectTrace records per-phase rate/work samples (Figure 9).
 	CollectTrace bool
 	// RealQuantum is the grain-sizing target quantum for RunReal (default
@@ -100,6 +106,17 @@ func (c Config) withDefaults() Config {
 		c.MinImprovement = 0.10
 	}
 	return c
+}
+
+// CoreCount resolves the Cores knob to an effective worker count.
+func (c Config) CoreCount() int {
+	switch {
+	case c.Cores < 0:
+		return runtime.NumCPU()
+	case c.Cores == 0:
+		return 1
+	}
+	return c.Cores
 }
 
 // Sample is one trace record: a slave's reported and filtered rates and its

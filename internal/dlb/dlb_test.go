@@ -10,7 +10,7 @@ import (
 	"repro/internal/loopir"
 )
 
-func planFor(t *testing.T, name string) *compile.Plan {
+func planFor(t testing.TB, name string) *compile.Plan {
 	t.Helper()
 	specs := map[string]depend.DistSpec{
 		"mm":     {Dims: map[string]int{"c": 1, "b": 1}, Loops: []string{"j"}},

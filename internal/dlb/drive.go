@@ -33,11 +33,17 @@ var (
 )
 
 // Prepared is the instantiation both sides of a distributed run must agree
-// on: the same plan, parameters, and strip-mining grain yield the same
-// phase schedule everywhere.
+// on: the same plan, parameters, strip-mining grain and compile options
+// (including a measured hook cost) yield the same phase schedule — and
+// hence the same plan hash — everywhere.
 type Prepared struct {
 	Exec  *compile.Exec
 	Grain int
+	// Opts is the resolved compile.Options actually used: if Prepare
+	// rebased HookCostFlops on measured kernel speed, transports must ship
+	// this resolved value to slaves instead of the caller's zero, or the
+	// two sides would instantiate different hook schedules.
+	Opts compile.Options
 }
 
 // Prepare instantiates cfg.Plan for a real (wall-clock) environment with
@@ -52,6 +58,9 @@ func Prepare(cfg Config, slaves int) (*Prepared, error) {
 	}
 	if slaves < 1 {
 		return nil, fmt.Errorf("dlb: need at least one slave")
+	}
+	if cfg.CompileOpts.HookCostFlops <= 0 {
+		cfg.CompileOpts.HookCostFlops = realHookCostFlops()
 	}
 	probe, err := cfg.Plan.Instantiate(cfg.Params, 1, cfg.CompileOpts)
 	if err != nil {
@@ -77,7 +86,7 @@ func Prepare(cfg Config, slaves int) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{Exec: exec, Grain: grain}, nil
+	return &Prepared{Exec: exec, Grain: grain, Opts: cfg.CompileOpts}, nil
 }
 
 // RunMasterOn drives the fault-tolerant master over an arbitrary endpoint.

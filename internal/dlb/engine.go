@@ -125,6 +125,14 @@ func (e *engine) scatter() {
 	}
 }
 
+// noteDispatch folds a terminating slave's compute-dispatch accounting
+// into the engine counters: how much owned work ran through compiled range
+// kernels versus the lowered interpreter fallback.
+func (e *engine) noteDispatch(st StatusMsg) {
+	e.res.Counters.Add("kernel_units", st.KernelUnits)
+	e.res.Counters.Add("fallback_units", st.FallbackUnits)
+}
+
 // handleRound runs the load-balancing decision for one complete round and
 // sends the (possibly checkpoint-preceded) instructions.
 func (e *engine) handleRound(raw map[int]StatusMsg) {

@@ -1,0 +1,152 @@
+package dlb
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/loopir"
+	"repro/internal/testx"
+)
+
+// TestSimCoresDifferential runs the library programs on the simulated
+// cluster at Cores 1, 2 and 4 in both interaction modes and demands the
+// same answers everywhere. Multicore slaves change the virtual timing (the
+// Charge is divided by the worker count), so the phase schedules and move
+// patterns differ across core counts — the distributed arrays must not.
+// This is a correctness test, not a speedup test: it holds on one physical
+// core too, so it is not gated on testx.NeedMultiCore.
+func TestSimCoresDifferential(t *testing.T) {
+	progs := []struct {
+		name   string
+		params map[string]int
+	}{
+		// Sized so the per-run work clears the kernelParMinFlops gate and
+		// the parallel path genuinely executes (mm, jacobi); sor and lu
+		// stay on the analyzed sequential fallback (wavefront dependence,
+		// no owned dimension) and pin down that path's equivalence.
+		{"mm", map[string]int{"n": 64}},
+		{"jacobi", map[string]int{"n": 128, "maxiter": 2}},
+		{"sor", map[string]int{"n": 32, "maxiter": 4}},
+		{"lu", map[string]int{"n": 32}},
+	}
+	for _, p := range progs {
+		plan := planFor(t, p.name)
+		reduction := map[string]bool{}
+		for _, r := range plan.Reductions {
+			reduction[r.Array] = true
+		}
+		for _, sync := range []bool{false, true} {
+			mode := "pipelined"
+			if sync {
+				mode = "synchronous"
+			}
+			var base map[string]*loopir.Array
+			for _, cores := range []int{1, 2, 4} {
+				t.Run(fmt.Sprintf("%s/%s/c%d", p.name, mode, cores), func(t *testing.T) {
+					res := runAndVerify(t, plan, p.params,
+						Config{DLB: true, Synchronous: sync, Cores: cores},
+						cluster.Config{Slaves: 3})
+					if cores > 1 && (p.name == "mm" || p.name == "jacobi") {
+						if res.Counters.Get("kernel_units") == 0 {
+							t.Errorf("no units ran through the compiled kernel")
+						}
+					}
+					if base == nil {
+						base = res.Final
+						return
+					}
+					for name, want := range base {
+						got := res.Final[name]
+						if got == nil {
+							t.Fatalf("array %q missing", name)
+						}
+						d := want.MaxAbsDiff(got)
+						if reduction[name] {
+							if d > 1e-9 {
+								t.Errorf("reduction %q differs from 1-core baseline by %g", name, d)
+							}
+						} else if d != 0 {
+							t.Errorf("array %q differs from 1-core baseline by %g", name, d)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRealCoresDifferential is the wall-clock twin: RunReal at Cores 1 and
+// all hardware cores must produce bit-identical distributed arrays. Real
+// runs measure rates, so schedules are nondeterministic — only the final
+// data is comparable, against the sequential reference (which verifyRealPlan
+// already checks exactly for non-reduction arrays).
+func TestRealCoresDifferential(t *testing.T) {
+	plan := planFor(t, "jacobi")
+	params := map[string]int{"n": 96, "maxiter": 3}
+	for _, cores := range []int{1, -1} {
+		res, err := RunReal(Config{Plan: plan, Params: params, DLB: true, Cores: cores}, 2)
+		if err != nil {
+			t.Fatalf("cores=%d: %v", cores, err)
+		}
+		verifyRealPlan(t, res, plan, params)
+	}
+}
+
+// TestUnitSliceAliasSafety proves a unitSlice result shares no storage with
+// the array it was taken from: the slave's broadcast path sends the slice
+// without a defensive copy, so mutation in either direction after the
+// snapshot must not leak through.
+func TestUnitSliceAliasSafety(t *testing.T) {
+	a := loopir.NewArray("a", []int{6, 6})
+	for i := range a.Data {
+		a.Data[i] = float64(i)
+	}
+	vals := unitSlice(a, 0, 2)
+	want := append([]float64(nil), vals...)
+
+	for i := range a.Data {
+		a.Data[i] = -1
+	}
+	for i, v := range vals {
+		if v != want[i] {
+			t.Fatalf("slice element %d changed to %g after array mutation", i, v)
+		}
+	}
+
+	snap := append([]float64(nil), a.Data...)
+	for i := range vals {
+		vals[i] = 999
+	}
+	for i, v := range a.Data {
+		if v != snap[i] {
+			t.Fatalf("array element %d changed to %g after slice mutation", i, v)
+		}
+	}
+}
+
+// BenchmarkSlaveCores measures a full RunReal of the jacobi stencil with
+// sequential slaves versus all-hardware-core slaves. The interesting figure
+// is the elapsed-time ratio between the two sub-benchmarks, not either
+// absolute number (a full run includes startup grain measurement).
+func BenchmarkSlaveCores(b *testing.B) {
+	testx.NeedMultiCore(b)
+	plan := planFor(b, "jacobi")
+	params := map[string]int{"n": 512, "maxiter": 4}
+	for _, c := range []struct {
+		name  string
+		cores int
+	}{
+		{"cores=1", 1},
+		{fmt.Sprintf("cores=%d", runtime.NumCPU()), -1},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunReal(Config{Plan: plan, Params: params, DLB: true, Cores: c.cores}, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -83,6 +83,7 @@ func (noFaultPolicy) CollectRound(e *engine) (map[int]StatusMsg, bool) {
 		case "done":
 			e.done[i] = true
 			e.doneCount++
+			e.noteDispatch(st)
 			newDone++
 		case "status":
 			raw[i] = st

@@ -159,6 +159,7 @@ func (p *ftPolicy) CollectRound(e *engine) (map[int]StatusMsg, bool) {
 				dones++
 				e.done[id] = true
 				e.doneCount++
+				e.noteDispatch(ev.st)
 				// The computation ended before the next contact hook, so an
 				// outstanding checkpoint request will never be answered.
 				p.pending = nil

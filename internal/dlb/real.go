@@ -37,6 +37,14 @@ func RunReal(cfg Config, slaves int) (*Result, error) {
 		return nil, err
 	}
 
+	// Wall-clock runs execute compiled kernels, so unless the caller
+	// pinned a hook cost the <1% placement rule is rebased on measured
+	// kernel speed (the static default is calibrated to the much slower
+	// interpreter-era path).
+	if cfg.CompileOpts.HookCostFlops <= 0 {
+		cfg.CompileOpts.HookCostFlops = realHookCostFlops()
+	}
+
 	probe, err := cfg.Plan.Instantiate(cfg.Params, 1, cfg.CompileOpts)
 	if err != nil {
 		return nil, err
@@ -192,23 +200,20 @@ func RunReal(cfg Config, slaves int) (*Result, error) {
 }
 
 // measureRealRow times one pipelined strip row of a single slave's share
-// by running the lowered sequential program once on a scratch instance and
-// scaling by the iteration counts.
+// by running the sequential program once on a scratch instance (through
+// the same kernel-first path the slaves execute, so strip blocks are sized
+// to kernel speed, not interpreter speed) and scaling by iteration counts.
 func measureRealRow(plan *compile.Plan, params map[string]int, probe *compile.Exec, slaves int) (time.Duration, error) {
 	scratch, err := loopir.NewInstance(plan.Prog, params)
 	if err != nil {
 		return 0, err
 	}
-	// The cost of one strip row ≈ per-unit flops x (active units / slaves),
-	// measured by running the whole-program lowered code for a bounded
-	// time and scaling. Simpler and robust: run one full lowered sweep of
-	// the program body once and divide by the total rows.
-	code, err := scratch.Lower()
-	if err != nil {
+	// The cost of one strip row ≈ per-unit flops x (active units / slaves):
+	// run one full sweep of the program body and divide by the total rows.
+	t0 := time.Now()
+	if err := scratch.Run(); err != nil {
 		return 0, err
 	}
-	t0 := time.Now()
-	code.Run()
 	total := time.Since(t0)
 	totalUnitExecs := probe.TotalFlops / probe.FlopsPerUnit
 	if totalUnitExecs < 1 {

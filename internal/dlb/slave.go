@@ -29,10 +29,18 @@ type slave struct {
 	own  *core.Ownership
 
 	frags      map[*compile.OwnedLoop]*loopir.Fragment
+	kernels    map[*compile.OwnedLoop]*loopir.RangeKernel
 	ownerFrags map[*compile.OwnerBlock]*loopir.Fragment
 	allFrags   []allFrag
 	env        map[string]int
 	redSnap    map[string][]float64 // reduction arrays at the last Combine
+
+	// cores is the resolved per-slave worker count (Config.Cores); owned
+	// runs wide enough to amortize goroutine startup are partitioned
+	// across this many kernel workers.
+	cores         int
+	kernelUnits   int64 // units executed through compiled range kernels
+	fallbackUnits int64 // units executed through the lowered fallback
 
 	ownedCache  []int // sorted owned units; nil means rebuild
 	hookVisit   int
@@ -82,13 +90,16 @@ func (s *slave) runOn(ep Endpoint) {
 	lo, hi := s.exec.InitialActive()
 	s.deactivateOutside(lo, hi)
 
-	// Lower the generated code against the local arrays: one range
-	// fragment per distributed loop, one fragment per owner block.
+	// Compile the generated code against the local arrays: one range
+	// kernel (plus a lowered fallback fragment) per distributed loop, one
+	// fragment per owner block.
 	s.frags = map[*compile.OwnedLoop]*loopir.Fragment{}
+	s.kernels = map[*compile.OwnedLoop]*loopir.RangeKernel{}
 	s.ownerFrags = map[*compile.OwnerBlock]*loopir.Fragment{}
 	if err := s.lowerSteps(plan.Steps); err != nil {
 		panic(fmt.Sprintf("slave%d: %v", s.id, err))
 	}
+	s.cores = s.cfg.CoreCount()
 
 	s.env = map[string]int{}
 	for k, v := range s.exec.Params {
@@ -179,6 +190,12 @@ func (s *slave) lowerSteps(steps []compile.Step) error {
 				return err
 			}
 		case *compile.OwnedLoop:
+			// The range kernel is the hot path; compilation failure
+			// (non-affine subscripts) leaves only the lowered fragment,
+			// which execOwned then uses.
+			if rk, err := s.inst.CompileRangeKernel(st.Var, st.Body); err == nil {
+				s.kernels[st] = rk
+			}
 			wrapped := []loopir.Stmt{
 				loopir.For(st.Var, loopir.Iv(rangeLo), loopir.Iv(rangeHi), st.Body...),
 			}
@@ -379,22 +396,66 @@ func (s *slave) execOwned(st *compile.OwnedLoop) {
 	if count == 0 {
 		return
 	}
-	flops := s.perUnitFlops(st.Body, st.Var, lo+(hi-lo)/2) * float64(count)
-	s.ep.Charge(time.Duration(flops * float64(s.cfg.FlopCost)))
-
-	frag := s.frags[st]
 	bind := map[string]int{}
 	for k, v := range s.env {
 		bind[k] = v
 	}
+
+	// Resolve the worker count per contiguous run: the kernel must be
+	// provably partition-safe, the run wide enough that per-worker work
+	// amortizes goroutine startup, and no runtime guard (a range-invariant
+	// read of a partitioned array) may land inside the run. The virtual
+	// Charge is divided by the same worker count, so simulated multicore
+	// slaves speed up exactly as real ones do.
+	rk := s.kernels[st]
+	perUnit := s.perUnitFlops(st.Body, st.Var, lo+(hi-lo)/2)
+	ws := make([]int, len(runs))
+	charge := 0.0
+	for i, r := range runs {
+		w := 1
+		if rk != nil && s.cores > 1 && rk.ParallelSafe() {
+			w = s.cores
+			if lim := int(perUnit * float64(r[1]-r[0]) / kernelParMinFlops); lim < w {
+				w = lim
+			}
+			if w > 1 {
+				w = rk.Workers(r[0], r[1], bind, w)
+			}
+			if w < 1 {
+				w = 1
+			}
+		}
+		ws[i] = w
+		charge += perUnit * float64(r[1]-r[0]) / float64(w)
+	}
+	s.ep.Charge(time.Duration(charge * float64(s.cfg.FlopCost)))
+
+	frag := s.frags[st]
 	s.ep.Timed(func() {
-		for _, r := range runs {
-			bind[rangeLo], bind[rangeHi] = r[0], r[1]
-			frag.Run(bind)
+		for i, r := range runs {
+			switch {
+			case rk == nil:
+				bind[rangeLo], bind[rangeHi] = r[0], r[1]
+				frag.Run(bind)
+			case ws[i] > 1:
+				rk.RunParallel(r[0], r[1], bind, ws[i])
+			default:
+				rk.Run(r[0], r[1], bind)
+			}
 		}
 	})
 	s.unitsDone += float64(count)
+	if rk != nil {
+		s.kernelUnits += int64(count)
+	} else {
+		s.fallbackUnits += int64(count)
+	}
 }
+
+// kernelParMinFlops is the minimum estimated work per worker before an
+// owned run is split across cores; below it goroutine startup dominates
+// the compute it buys.
+const kernelParMinFlops = 20000
 
 func (s *slave) execOwnerBlock(st *compile.OwnerBlock) {
 	if s.ff {
@@ -501,13 +562,16 @@ func (s *slave) execBcast(st *compile.Bcast) {
 	tag := "bcast:" + st.Array
 	owner := s.own.OwnerOf(idx)
 	if owner == s.id {
+		// unitSlice already returns a fresh snapshot and receivers only
+		// copy out of Vals, so one shared payload serves every peer — no
+		// per-message defensive copy.
 		vals := unitSlice(arr, dim, idx)
 		for other := 0; other < s.own.Slaves(); other++ {
 			if other == s.id || !s.peerAlive(other) {
 				continue
 			}
 			s.send(other, tag, floatsBytes(len(vals)),
-				SliceMsg{Unit: idx, RowLo: -1, RowHi: -1, Vals: append([]float64(nil), vals...)})
+				SliceMsg{Unit: idx, RowLo: -1, RowHi: -1, Vals: vals})
 		}
 		return
 	}
@@ -706,10 +770,12 @@ func (s *slave) designated() bool { return s.fault.designated(s) }
 func (s *slave) runTree() {
 	s.execSteps(s.exec.Plan.Steps)
 	s.ep.Send(cluster.MasterID, "done", 64, StatusMsg{
-		Phase:     s.phase,
-		HookIndex: s.hookVisit,
-		Done:      true,
-		Epoch:     s.epoch,
+		Phase:         s.phase,
+		HookIndex:     s.hookVisit,
+		Done:          true,
+		Epoch:         s.epoch,
+		KernelUnits:   s.kernelUnits,
+		FallbackUnits: s.fallbackUnits,
 	})
 }
 
@@ -753,6 +819,7 @@ func (s *slave) applyRecover(a AdoptMsg) {
 	s.ffUntil = a.Hook
 	s.skipInstrOnce = !s.cfg.Synchronous && a.Hook >= 0
 	s.unitsDone = 0
+	s.kernelUnits, s.fallbackUnits = 0, 0
 	s.busyMark = s.ep.Busy()
 	s.lastMove, s.lastInter = 0, 0
 	s.blockLo, s.blockHi = 0, 0

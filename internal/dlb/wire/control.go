@@ -34,6 +34,9 @@ type RunSpec struct {
 	// DLB and Synchronous select the balancing mode.
 	DLB         bool
 	Synchronous bool
+	// Cores is the per-slave kernel worker count (dlb.Config.Cores);
+	// daemons may override it locally with their own -cores setting.
+	Cores int
 	// HeartbeatEvery is the slave's sign-of-life interval.
 	HeartbeatEvery time.Duration
 	// FaultSpec is an optional fault.ParseSpec schedule injected on the

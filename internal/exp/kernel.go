@@ -1,0 +1,203 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/loopir"
+)
+
+// The kernel experiment: how much of the slave's per-unit compute cost the
+// compiled loop kernels remove, and how the multicore range kernels scale.
+// Each library program is run at three tiers — the tree-walking interpreter
+// (the differential oracle), the lowered closure engine, and the compiled
+// kernel — plus a worker-count sweep of the parallel range kernel on the
+// jacobi stencil. The same comparisons exist as go benchmarks
+// (BenchmarkKernel, BenchmarkRangeKernelWorkers in internal/loopir); this
+// driver renders them as an experiment artifact plus machine-readable JSON.
+
+// KernelRow is one benchmark measurement.
+type KernelRow struct {
+	Bench   string  `json:"bench"`   // e.g. "kernel/jacobi" or "workers/jacobi-sweep"
+	Variant string  `json:"variant"` // "interp"/"lowered"/"kernel" or "w=1".."w=4"
+	NsPerOp float64 `json:"ns_per_op"`
+	Flops   int64   `json:"flops_per_op"`
+	MFlops  float64 `json:"mflops"`
+}
+
+// KernelReport is the experiment's result: all rows plus the
+// baseline-over-optimized time ratios (">1" means the kernel wins). For
+// "kernel/*" benches the baseline is the interpreter; for "workers/*" it is
+// the single-worker kernel.
+type KernelReport struct {
+	Rows     []KernelRow        `json:"rows"`
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+// kernelRow runs fn under testing.Benchmark and records it.
+func kernelRow(bench, variant string, flops int64, fn func(b *testing.B)) KernelRow {
+	r := testing.Benchmark(fn)
+	ns := float64(r.NsPerOp())
+	mf := 0.0
+	if ns > 0 {
+		mf = float64(flops) / ns * 1e9 / 1e6
+	}
+	return KernelRow{Bench: bench, Variant: variant, NsPerOp: ns, Flops: flops, MFlops: mf}
+}
+
+// Kernel runs the loop-kernel microbenchmarks: interpreter vs lowered
+// closures vs compiled kernel on the stencil (jacobi), pipelined (sor) and
+// matrix-product (mm) programs, and the parallel range kernel's worker
+// scaling on the jacobi sweep.
+func Kernel(s Scale) (*KernelReport, error) {
+	type bcase struct {
+		name   string
+		params map[string]int
+	}
+	cases := []bcase{
+		{"jacobi", map[string]int{"n": 96, "maxiter": 2}},
+		{"sor", map[string]int{"n": 96, "maxiter": 2}},
+		{"mm", map[string]int{"n": 64}},
+	}
+	sweepN := 256
+	if s.MM <= Quick.MM { // reduced scale for tests
+		cases = []bcase{
+			{"jacobi", map[string]int{"n": 32, "maxiter": 2}},
+			{"sor", map[string]int{"n": 32, "maxiter": 2}},
+			{"mm", map[string]int{"n": 24}},
+		}
+		sweepN = 64
+	}
+	rep := &KernelReport{Speedups: map[string]float64{}}
+
+	for _, c := range cases {
+		prog := loopir.Library()[c.name]
+		if prog == nil {
+			return nil, fmt.Errorf("exp: unknown program %q", c.name)
+		}
+		flops := loopir.ExactFlops(prog.Body, c.params)
+		bench := "kernel/" + c.name
+
+		interpIn, err := loopir.NewInstance(prog, c.params)
+		if err != nil {
+			return nil, err
+		}
+		interp := kernelRow(bench, "interp", flops, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := interpIn.Interpret(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		lowIn, err := loopir.NewInstance(prog, c.params)
+		if err != nil {
+			return nil, err
+		}
+		code, err := lowIn.Lower()
+		if err != nil {
+			return nil, err
+		}
+		lowered := kernelRow(bench, "lowered", flops, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				code.Run()
+			}
+		})
+
+		kernIn, err := loopir.NewInstance(prog, c.params)
+		if err != nil {
+			return nil, err
+		}
+		k, err := kernIn.CompileKernel(kernIn.Prog.Body)
+		if err != nil {
+			return nil, err
+		}
+		kernel := kernelRow(bench, "kernel", flops, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k.Run(nil)
+			}
+		})
+
+		rep.Rows = append(rep.Rows, interp, lowered, kernel)
+		if kernel.NsPerOp > 0 {
+			rep.Speedups[bench] = interp.NsPerOp / kernel.NsPerOp
+		}
+	}
+
+	// Worker scaling of the parallel range kernel on one jacobi sweep.
+	params := map[string]int{"n": sweepN, "maxiter": 1}
+	prog := loopir.Library()["jacobi"]
+	in, err := loopir.NewInstance(prog, params)
+	if err != nil {
+		return nil, err
+	}
+	iter := in.Prog.Body[0].(*loopir.Loop)
+	sweep := iter.Body[0].(*loopir.Loop)
+	rk, err := in.CompileRangeKernel(sweep.Var, sweep.Body)
+	if err != nil {
+		return nil, err
+	}
+	if !rk.ParallelSafe() {
+		return nil, fmt.Errorf("exp: jacobi sweep not parallel-safe: %s", rk.SeqReason())
+	}
+	sweepFlops := loopir.ExactFlops(sweep.Body, params) * int64(sweepN-2)
+	bench := "workers/jacobi-sweep"
+	var base, best float64
+	for _, w := range []int{1, 2, 4} {
+		w := w
+		row := kernelRow(bench, fmt.Sprintf("w=%d", w), sweepFlops, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rk.RunParallel(1, sweepN-1, nil, w)
+			}
+		})
+		rep.Rows = append(rep.Rows, row)
+		if w == 1 {
+			base = row.NsPerOp
+		}
+		if best == 0 || row.NsPerOp < best {
+			best = row.NsPerOp
+		}
+	}
+	if best > 0 {
+		rep.Speedups[bench] = base / best
+	}
+	return rep, nil
+}
+
+// RenderKernel formats the report as the experiment's text artifact.
+func RenderKernel(rep *KernelReport) string {
+	var sb strings.Builder
+	sb.WriteString("Compiled loop kernels: interpreter vs lowered closures vs kernel, and worker scaling\n")
+	sb.WriteString("(kernel/* speedup = interp/kernel; workers/* speedup = one worker over the best)\n\n")
+	fmt.Fprintf(&sb, "%-22s %-8s %14s %16s %10s\n",
+		"bench", "variant", "ns/op", "flops/op", "MFLOPS")
+	prev := ""
+	for _, r := range rep.Rows {
+		if prev != "" && r.Bench != prev {
+			sb.WriteString("\n")
+		}
+		prev = r.Bench
+		fmt.Fprintf(&sb, "%-22s %-8s %14.0f %16d %10.1f\n",
+			r.Bench, r.Variant, r.NsPerOp, r.Flops, r.MFlops)
+	}
+	sb.WriteString("\nspeedups:\n")
+	seen := map[string]bool{}
+	for _, r := range rep.Rows {
+		if !seen[r.Bench] {
+			seen[r.Bench] = true
+			fmt.Fprintf(&sb, "  %-22s %.2fx\n", r.Bench, rep.Speedups[r.Bench])
+		}
+	}
+	return sb.String()
+}
+
+// KernelJSON renders the machine-readable artifact (BENCH_kernel.json).
+func KernelJSON(rep *KernelReport) string {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "{}"
+	}
+	return string(b) + "\n"
+}

@@ -1,9 +1,56 @@
 package loopir
 
+import (
+	"sync"
+	"time"
+)
+
 // This file provides the static cost model the compiler uses for hook
 // placement (paper §4.2: place the hook at the deepest level where its cost
 // is a negligible fraction of the enclosed work) and for grain-size and
 // calibration decisions.
+
+var (
+	kernelRateOnce sync.Once
+	kernelRateVal  float64
+)
+
+// KernelRate reports the measured execution rate of the compiled-kernel
+// path, in model flops per second, by timing a small stencil kernel once
+// per process and caching the result. The real and TCP runtimes use it to
+// rebase ratio-style constants (the §4.2 <1% hook rule, the adaptive
+// balancing period) on actual kernel speed instead of the tree-walking
+// interpreter's: a per-visit cost that was negligible against interpreted
+// iterations is an order of magnitude more visible against compiled ones.
+func KernelRate() float64 {
+	kernelRateOnce.Do(func() {
+		kernelRateVal = 1e9 // conservative fallback if calibration fails
+		prog, ok := Library()["jacobi"]
+		if !ok {
+			return
+		}
+		params := map[string]int{"n": 96, "maxiter": 4}
+		in, err := NewInstance(prog, params)
+		if err != nil {
+			return
+		}
+		k, err := in.CompileKernel(in.Prog.Body)
+		if err != nil {
+			return
+		}
+		flops := float64(ExactFlops(in.Prog.Body, params))
+		k.Run(nil) // warm caches and the exec pool
+		const runs = 3
+		start := time.Now()
+		for i := 0; i < runs; i++ {
+			k.Run(nil)
+		}
+		if sec := time.Since(start).Seconds(); sec > 0 {
+			kernelRateVal = runs * flops / sec
+		}
+	})
+	return kernelRateVal
+}
 
 // OpCount returns the number of floating-point operations performed by one
 // execution of the statement list, ignoring loop trip counts (loops count

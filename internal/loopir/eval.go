@@ -335,10 +335,13 @@ func (in *Instance) interpretStmts(stmts []Stmt, env map[string]int) error {
 	return nil
 }
 
-// Run executes the program, preferring the fast lowered engine and falling
-// back to the interpreter for programs it cannot lower (non-affine
-// subscripts).
+// Run executes the program, preferring the compiled kernel, then the
+// lowered closure engine, and finally the interpreter for programs neither
+// compiler accepts (non-affine subscripts).
 func (in *Instance) Run() error {
+	if err := in.RunKernel(); err == nil {
+		return nil
+	}
 	code, err := in.Lower()
 	if err == nil {
 		code.Run()

@@ -79,6 +79,10 @@ func RunMaster(cfg dlb.Config, slaveAddrs []string, opt MasterOptions) (*dlb.Res
 	if err != nil {
 		return nil, err
 	}
+	// Ship the resolved compile options: Prepare may have rebased the hook
+	// cost on measured kernel speed, and slaves must instantiate with the
+	// same value or their plan hashes (phase schedules) would diverge.
+	cfg.CompileOpts = pre.Opts
 	hbEvery := fault.NewDetector(cfg.Detect, 1).Config().HeartbeatEvery
 	offer := wire.CodecBinary
 	if opt.Codec == wire.CodecGob {

@@ -168,6 +168,7 @@ func specFromConfig(cfg dlb.Config, grain int, hbEvery time.Duration) wire.RunSp
 		Grain:          grain,
 		DLB:            cfg.DLB,
 		Synchronous:    cfg.Synchronous,
+		Cores:          cfg.Cores,
 		HeartbeatEvery: hbEvery,
 		FaultSpec:      fault.FormatSpec(cfg.Fault),
 	}
@@ -194,6 +195,7 @@ func configFromSpec(spec wire.RunSpec) (dlb.Config, error) {
 		Params:      spec.Params,
 		DLB:         spec.DLB,
 		Synchronous: spec.Synchronous,
+		Cores:       spec.Cores,
 		ForcedGrain: spec.Grain,
 		CompileOpts: opts,
 		Detect:      fault.DetectorConfig{HeartbeatEvery: spec.HeartbeatEvery},

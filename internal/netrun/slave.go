@@ -27,7 +27,12 @@ type ServerOptions struct {
 	// Drag slows this daemon's computation by the given factor (>= 1),
 	// emulating a slower or loaded machine so load redistribution is
 	// observable on homogeneous test hardware.
-	Drag     float64
+	Drag float64
+	// Cores overrides the master's shipped kernel worker count for this
+	// daemon (0: use the shipped value; -1: all hardware cores). Per-node
+	// overrides are the point — a heterogeneous cluster advertises its
+	// actual width to the load balancer through its measured rate.
+	Cores    int
 	Timeouts Timeouts
 	// Codec selects the data-plane codec this daemon is willing to speak:
 	// wire.CodecBinary (the default, "") accepts a master's binary offer;
@@ -197,6 +202,9 @@ func (s *Server) runSession(nc net.Conn, wc *wire.Conn, st wire.StartMsg, joiner
 	if err != nil {
 		s.reject(wc, nc, wire.RejectMsg{Code: wire.RejectProtocol, Detail: err.Error()})
 		return
+	}
+	if s.opt.Cores != 0 {
+		cfg.Cores = s.opt.Cores
 	}
 	pre, err := dlb.Prepare(cfg, st.Slaves)
 	if err != nil {

@@ -1,0 +1,19 @@
+// Package testx holds small helpers shared by the repository's tests.
+package testx
+
+import (
+	"runtime"
+	"testing"
+)
+
+// NeedMultiCore skips tests whose assertions only hold with real hardware
+// parallelism — wall-clock speedup checks, multicore kernel scaling — when
+// the process is pinned to a single core. Correctness tests must not use
+// it: kernel results are bit-identical at every worker count, including on
+// one core.
+func NeedMultiCore(t testing.TB) {
+	t.Helper()
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs multiple cores")
+	}
+}
