@@ -35,7 +35,7 @@ type artifact struct {
 }
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run (table1, fig5..fig9, pipeline, grain, refinements, lu, baselines, hetero, fault, net, plane, kernel, all)")
+	which := flag.String("exp", "all", "experiment to run (table1, fig5..fig9, pipeline, grain, refinements, lu, baselines, hetero, fault, net, svc, plane, kernel, all)")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	out := flag.String("out", "", "directory to write artifacts to (default: stdout)")
 	flag.Parse()
@@ -147,6 +147,13 @@ func main() {
 			fail(err)
 		}
 		add("net", exp.RenderNetOverhead(rows))
+	}
+	if want("svc") {
+		rep, err := exp.SvcSchedule(scale)
+		if err != nil {
+			fail(err)
+		}
+		add("svc", exp.RenderSvc(rep))
 	}
 	if want("plane") {
 		rep, err := exp.Plane(scale)

@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/netrun"
 )
@@ -31,6 +32,7 @@ func main() {
 	drag := flag.Float64("drag", 1.0, "slow this daemon's computation by the given factor (emulated loaded machine)")
 	cores := flag.Int("cores", 0, "kernel worker goroutines (0: use the master's setting, -1: all hardware cores)")
 	codec := flag.String("codec", "", `data-plane codec: "" accepts the master's offer (binary), "gob" pins this daemon to gob`)
+	grace := flag.Duration("grace", 30*time.Second, "how long SIGTERM waits for an in-flight run to drain before forcing teardown")
 	quiet := flag.Bool("quiet", false, "suppress event logging on stderr")
 	flag.Parse()
 
@@ -53,12 +55,20 @@ func main() {
 	}
 	fmt.Printf("dlbd listening %s\n", srv.Addr())
 
-	sig := make(chan os.Signal, 1)
+	// First signal: graceful — stop accepting runs, drain the in-flight
+	// session (peer frames keep flowing through the still-open listener),
+	// then close. A second signal forces immediate teardown.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		logf("shutting down")
-		srv.Close()
+		logf("shutting down (draining, grace %v; signal again to force)", *grace)
+		go func() {
+			<-sig
+			logf("forced shutdown")
+			srv.Close()
+		}()
+		srv.Shutdown(*grace)
 	}()
 	if err := srv.Serve(); err != nil {
 		fmt.Fprintln(os.Stderr, "dlbd:", err)

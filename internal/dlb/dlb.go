@@ -87,6 +87,17 @@ type Config struct {
 	Ckpt fault.CkptPolicy
 	// Detect tunes master-side failure detection (fault-tolerant runs).
 	Detect fault.DetectorConfig
+	// Preempt, when set, lets a scheduler request a cooperative stop: the
+	// master forces a checkpoint at the next consumable round, evicts every
+	// slave, and returns ErrPreempted with Result.Checkpoint holding the
+	// committed snapshot. Transport-driven runs only (RunMasterOn).
+	Preempt *PreemptControl
+	// Resume, when set, restarts a preempted run from the given snapshot
+	// instead of the initial data: the initial membership must match the
+	// checkpoint's, and the run's first act is a recovery epoch that
+	// re-ships the snapshot state and fast-forwards the slaves to the cut
+	// hook. Transport-driven runs only (RunMasterOn).
+	Resume *fault.Checkpoint
 }
 
 func (c Config) withDefaults() Config {
@@ -167,6 +178,9 @@ type Result struct {
 	Evicted     []int
 	Joined      []int
 	FaultLog    *fault.Log
+	// Checkpoint is the committed stop snapshot of a preempted run
+	// (ErrPreempted); hand it to Config.Resume to continue the run later.
+	Checkpoint *fault.Checkpoint
 	// Owner is the final unit-to-slave ownership map: the state of the
 	// replicated map when the run committed.
 	Owner []int
@@ -183,6 +197,9 @@ func Run(cfg Config, cc cluster.Config) (*Result, error) {
 	slaves := cc.Slaves
 	if slaves < 1 {
 		return nil, fmt.Errorf("dlb: need at least one slave")
+	}
+	if cfg.Preempt != nil || cfg.Resume != nil {
+		return nil, fmt.Errorf("dlb: preemption and resume are transport-driven features (RunMasterOn)")
 	}
 	ft := cfg.Fault != nil
 	if ft {

@@ -112,6 +112,9 @@ func RunMasterOn(ep Endpoint, cfg Config, cc cluster.Config, initial, total int,
 	if err := cfg.Fault.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Resume != nil && cfg.Resume.Slaves != initial {
+		return nil, fmt.Errorf("dlb: resume checkpoint was cut with %d slaves, run has %d", cfg.Resume.Slaves, initial)
+	}
 	masterInst, err := loopir.NewInstance(cfg.Plan.Prog, cfg.Params)
 	if err != nil {
 		return nil, err
@@ -126,14 +129,22 @@ func RunMasterOn(ep Endpoint, cfg Config, cc cluster.Config, initial, total int,
 		exec:    pre.Exec,
 		inst:    masterInst,
 		res:     r,
-		pol:     &ftPolicy{log: flog},
+		pol:     &ftPolicy{log: flog, resume: cfg.Resume},
 	}
+	start := ep.Now()
 	defer func() {
 		if p := recover(); p != nil {
+			if _, ok := p.(preemptStop); ok {
+				// A cooperative stop: the policy committed the stop
+				// checkpoint, published it on the Result, and released the
+				// slaves before unwinding.
+				r.Elapsed = ep.Now() - start
+				res, err = r, ErrPreempted
+				return
+			}
 			err = fmt.Errorf("dlb: master: %v", p)
 		}
 	}()
-	start := ep.Now()
 	eng.runOn(ep)
 	if eng.err != nil {
 		return nil, eng.err

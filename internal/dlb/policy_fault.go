@@ -17,6 +17,11 @@ import (
 // not a second runtime.
 type ftPolicy struct {
 	log *fault.Log
+	// resume, when set, seeds the run from a carried-in checkpoint (a
+	// preempted run continuing under a fresh master) instead of the
+	// synthetic checkpoint 0; Started consumes it by opening a recovery
+	// epoch before the first round.
+	resume *fault.Checkpoint
 
 	det        *fault.Detector
 	pol        fault.CkptPolicy
@@ -61,7 +66,12 @@ func (p *ftPolicy) Init(e *engine) {
 	p.queued = make([]bool, e.total)
 	p.det = fault.NewDetector(e.cfg.Detect, e.total)
 	p.pol = e.cfg.Ckpt
-	p.initialCkpt(e)
+	if p.resume != nil {
+		p.ck = p.resume
+		p.seq = p.resume.Seq
+	} else {
+		p.initialCkpt(e)
+	}
 }
 
 func (p *ftPolicy) Started(e *engine) {
@@ -69,6 +79,16 @@ func (p *ftPolicy) Started(e *engine) {
 	p.det.Reset(now)
 	p.lastCkptAt = now
 	p.lastRoundAt = now
+	if p.resume != nil {
+		// Resuming a preempted run: the first act of the epoch is a
+		// recovery from the carried-in snapshot — the same path a failure
+		// takes, with nobody dead. The recovery AdoptMsg re-ships every
+		// slave's state and fast-forwards it to the cut hook; the empty
+		// scatter that preceded it is discarded.
+		p.resume = nil
+		p.recoverFrom(e, nil, nil)
+		e.res.Counters.Add("resumes", 1)
+	}
 }
 
 // initialCkpt builds the synthetic checkpoint 0 from the master's initial
@@ -300,7 +320,9 @@ func (p *ftPolicy) CheckpointSeq(e *engine, phase int, ids []int) int {
 	}
 	// lastRoundAt is this round's observation time (set pre-charge by
 	// RoundObserved), matching the clock the commit stamps lastCkptAt with.
-	if !p.wantCkpt && !p.pol.Should(p.lastRoundAt, p.lastCkptAt, e.setup.ckptCost) {
+	// A pending preemption forces a cut at the first eligible round — the
+	// stop snapshot should be as fresh as the protocol allows.
+	if !p.wantCkpt && !e.cfg.Preempt.Requested() && !p.pol.Should(p.lastRoundAt, p.lastCkptAt, e.setup.ckptCost) {
 		return 0
 	}
 	p.seq++
@@ -373,6 +395,31 @@ func (p *ftPolicy) commitCkpt(e *engine) {
 	e.res.Counters.Add("checkpoints", 1)
 	p.lastCkptAt = now
 	p.log.Add(now, fault.LogCheckpoint, -1, "seq %d committed at hook %d", pk.seq, ck.Hook)
+	if e.cfg.Preempt.Requested() {
+		p.stopForPreemption(e)
+	}
+}
+
+// stopForPreemption releases the cluster right after a checkpoint commit:
+// every participant (and every never-admitted joiner slot) is evicted, the
+// snapshot is published on the Result, and the master loop unwinds with
+// ErrPreempted. The evicted slaves see an ordinary eviction — on netrun
+// the daemon session ends with ErrEvicted and the slave is immediately
+// free for a new lease.
+func (p *ftPolicy) stopForPreemption(e *engine) {
+	now := e.ep.Now()
+	for _, id := range p.Participants(e) {
+		e.ep.Send(id, "evict", 48, EvictMsg{Epoch: p.epoch, Reason: "preempted"})
+	}
+	for slot := e.initial; slot < e.total; slot++ {
+		if !p.admitted[slot] {
+			e.ep.Send(slot, "evict", 48, EvictMsg{Epoch: p.epoch, Reason: "preempted"})
+		}
+	}
+	e.res.Checkpoint = p.ck
+	e.res.Counters.Add("preemptions", 1)
+	p.log.Add(now, fault.LogEvict, -1, "preempted: released at checkpoint %d (hook %d)", p.ck.Seq, p.ck.Hook)
+	panic(preemptStop{})
 }
 
 // recoverFrom starts a recovery epoch: evict newDead, rebuild the ownership

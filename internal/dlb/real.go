@@ -32,6 +32,9 @@ func RunReal(cfg Config, slaves int) (*Result, error) {
 	if slaves < 1 {
 		return nil, fmt.Errorf("dlb: need at least one slave")
 	}
+	if cfg.Preempt != nil || cfg.Resume != nil {
+		return nil, fmt.Errorf("dlb: preemption and resume are transport-driven features (RunMasterOn)")
+	}
 	masterInst, err := loopir.NewInstance(cfg.Plan.Prog, cfg.Params)
 	if err != nil {
 		return nil, err

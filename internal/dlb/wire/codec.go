@@ -277,6 +277,7 @@ func appendBinaryEnvelope(b []byte, e Envelope) ([]byte, error) {
 	case dlb.InitMsg:
 		b = putOwnedMap(b, p.Owned)
 		b = putFloatsMap(b, p.Replicated)
+		b = putBool(b, p.FromCache)
 	case dlb.GatherMsg:
 		b = putOwnedMap(b, p.Data)
 		b = putFloatsMap(b, p.Reduced)
@@ -600,6 +601,9 @@ func decodeBinaryEnvelope(payload []byte) (Envelope, error) {
 			return Envelope{}, err
 		}
 		if p.Replicated, err = r.floatsMap(); err != nil {
+			return Envelope{}, err
+		}
+		if p.FromCache, err = r.boolv(); err != nil {
 			return Envelope{}, err
 		}
 		e.Payload = p

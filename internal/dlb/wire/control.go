@@ -97,6 +97,11 @@ type HelloMsg struct {
 	// it (""). An old slave's hello decodes with the field empty, so the
 	// master falls back to gob for that peer.
 	Codec string
+	// InitCached announces that this daemon still holds the initial
+	// scatter payload for the handshaken plan hash (and this node id and
+	// membership size) from an earlier run: the master may ship a
+	// FromCache marker instead of the bulk InitMsg.
+	InitCached bool
 }
 
 // RosterMsg distributes the node id → listener address table. The master
@@ -135,6 +140,10 @@ const (
 	RejectDuplicate = "duplicate-id"
 	RejectFull      = "no-free-slots"
 	RejectProtocol  = "protocol-error"
+	// RejectBusy refuses a run because the daemon is already serving one.
+	// It is the retryable rejection: a scheduler re-leasing a slave whose
+	// previous session is still tearing down backs off and redials.
+	RejectBusy = "busy"
 )
 
 // Control-frame tags. They live in the same Envelope namespace as data

@@ -1,0 +1,292 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/lang"
+	"repro/internal/loopir"
+	"repro/internal/metrics"
+	"repro/internal/netrun"
+	"repro/internal/svc"
+)
+
+// SvcTenantRow is one tenant's outcome under the mixed arrival trace.
+type SvcTenantRow struct {
+	Tenant      string
+	Weight      float64
+	Priority    string
+	Jobs        int
+	Done        int
+	Preemptions int64
+	MeanWait    time.Duration
+	MeanRun     time.Duration
+	MeanTurn    time.Duration // submit → done
+	SlaveSec    float64
+	NormService float64 // SlaveSec / Weight — the fairness coordinate
+}
+
+// SvcReport is the service-scheduler measurement: per-tenant rows plus the
+// cluster-wide throughput and fairness aggregates.
+type SvcReport struct {
+	PoolSize   int
+	Jobs       int
+	Elapsed    time.Duration
+	Throughput float64 // done jobs per second of trace wall time
+	Fairness   float64 // Jain index over NormService of the steady tenants
+	Rows       []SvcTenantRow
+}
+
+// jainIndex is (Σx)² / (n·Σx²): 1.0 is perfectly proportional service.
+func jainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// svcTrace is one deterministic arrival.
+type svcTrace struct {
+	at       time.Duration // offset from trace start
+	tenant   string
+	priority string
+	app      string
+	n        int
+	slaves   int
+}
+
+// SvcSchedule drives the multi-tenant service under a deterministic mixed
+// arrival trace on an in-process pool: two batch tenants streaming
+// low/normal-priority work and an "urgent" tenant whose high-priority
+// submissions must preempt. The table reports per-tenant wait, run and
+// turnaround times, accumulated slave-seconds, and the Jain fairness index
+// over the two equally-weighted steady tenants' normalized service.
+func SvcSchedule(s Scale) (*SvcReport, error) {
+	const (
+		poolSize = 4
+		drag     = 12
+	)
+	// Sizes: the opening batch job must outlive the first normal arrival
+	// at 50ms PLUS the preemption latency (the next consumable checkpoint
+	// round), or the trace degenerates into plain FIFO; interactive jobs
+	// are short.
+	big, mid, small := s.MM*8, s.MM*2, s.MM
+	if big > 256 {
+		big = 256
+	}
+	if mid > 128 {
+		mid = 128
+	}
+	if small > 64 {
+		small = 64
+	}
+	trace := []svcTrace{
+		{0, "batch", svc.PriorityLow, "mm", big, 4},
+		{50 * time.Millisecond, "steady-a", svc.PriorityNormal, "mm", mid, 2},
+		{100 * time.Millisecond, "steady-b", svc.PriorityNormal, "mm", mid, 2},
+		{400 * time.Millisecond, "urgent", svc.PriorityHigh, "mm", small, 4},
+		{500 * time.Millisecond, "steady-a", svc.PriorityNormal, "mm", mid, 2},
+		{550 * time.Millisecond, "steady-b", svc.PriorityNormal, "mm", mid, 2},
+		{700 * time.Millisecond, "batch", svc.PriorityLow, "mm", mid, 2},
+		{900 * time.Millisecond, "steady-a", svc.PriorityNormal, "mm", mid, 2},
+		{950 * time.Millisecond, "steady-b", svc.PriorityNormal, "mm", mid, 2},
+		{1200 * time.Millisecond, "urgent", svc.PriorityHigh, "mm", small, 2},
+	}
+
+	var srvs []*netrun.Server
+	addrs := make([]string, poolSize)
+	for i := 0; i < poolSize; i++ {
+		srv, err := netrun.NewServer(netrun.ServerOptions{Drag: drag})
+		if err != nil {
+			return nil, err
+		}
+		go srv.Serve()
+		srvs = append(srvs, srv)
+		addrs[i] = srv.Addr()
+	}
+	defer func() {
+		for _, srv := range srvs {
+			srv.Close()
+		}
+	}()
+
+	service, err := svc.New(svc.Options{
+		Addrs:    addrs,
+		MaxQueue: len(trace),
+		Weights:  map[string]float64{"steady-a": 1, "steady-b": 1, "batch": 1, "urgent": 1},
+		Detect:   fault.DetectorConfig{MinLease: 400 * time.Millisecond, HeartbeatEvery: 100 * time.Millisecond},
+		Ckpt:     fault.CkptPolicy{MinInterval: 150 * time.Millisecond},
+		Timeouts: netrun.Timeouts{Dial: 10 * time.Second},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer service.Close()
+
+	specOf := func(tr svcTrace) (svc.JobSpec, error) {
+		prog := loopir.Library()[tr.app]
+		if prog == nil {
+			return svc.JobSpec{}, fmt.Errorf("exp: unknown program %q", tr.app)
+		}
+		return svc.JobSpec{
+			Tenant:    tr.tenant,
+			Priority:  tr.priority,
+			Program:   lang.Format(prog),
+			Params:    map[string]int{"n": tr.n},
+			DistDims:  specFor(tr.app).Dims,
+			DistLoops: specFor(tr.app).Loops,
+			Slaves:    tr.slaves,
+		}, nil
+	}
+
+	// Pre-warm the plan cache: Submit compiles synchronously, and a cold
+	// compile of the big batch plan takes longer than the 50ms gap to the
+	// first steady arrival — the trace offsets would measure the compiler,
+	// not the scheduler.
+	for _, tr := range trace {
+		spec, err := specOf(tr)
+		if err != nil {
+			return nil, err
+		}
+		if err := service.Warm(spec); err != nil {
+			return nil, fmt.Errorf("exp: warming %s/%d: %w", tr.app, tr.n, err)
+		}
+	}
+
+	type meta struct {
+		tenant, priority string
+		slaves           int
+	}
+	ids := map[string]meta{}
+	t0 := time.Now()
+	for _, tr := range trace {
+		if d := tr.at - time.Since(t0); d > 0 {
+			time.Sleep(d)
+		}
+		spec, err := specOf(tr)
+		if err != nil {
+			return nil, err
+		}
+		id, err := service.Submit(spec)
+		if err != nil {
+			return nil, fmt.Errorf("exp: submitting %s/%s: %w", tr.tenant, tr.priority, err)
+		}
+		ids[id] = meta{tr.tenant, tr.priority, tr.slaves}
+	}
+
+	// Wait for every job to reach a terminal state.
+	deadline := time.Now().Add(5 * time.Minute)
+	for {
+		alive := 0
+		for id := range ids {
+			st, err := service.Status(id)
+			if err != nil {
+				return nil, err
+			}
+			if st.State == svc.StateFailed {
+				return nil, fmt.Errorf("exp: job %s failed: %s", id, st.Error)
+			}
+			if st.State != svc.StateDone && st.State != svc.StateCanceled {
+				alive++
+			}
+		}
+		if alive == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("exp: %d jobs never finished", alive)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	elapsed := time.Since(t0)
+
+	// Aggregate per tenant.
+	z := service.Statsz()
+	agg := map[string]*SvcTenantRow{}
+	order := []string{}
+	for id, m := range ids {
+		st, err := service.Status(id)
+		if err != nil {
+			return nil, err
+		}
+		row := agg[m.tenant]
+		if row == nil {
+			ts := z.Tenants[m.tenant]
+			w := 1.0
+			row = &SvcTenantRow{Tenant: m.tenant, Weight: w, Priority: m.priority}
+			if ts != nil {
+				row.Preemptions = ts.Preemptions
+				row.SlaveSec = ts.SlaveSec
+				row.NormService = ts.SlaveSec / w
+			}
+			agg[m.tenant] = row
+			order = append(order, m.tenant)
+		}
+		row.Jobs++
+		if st.State == svc.StateDone {
+			row.Done++
+		}
+		row.MeanWait += time.Duration(st.WaitedMS) * time.Millisecond
+		row.MeanRun += time.Duration(st.RanMS) * time.Millisecond
+		if st.DoneAt != nil {
+			row.MeanTurn += st.DoneAt.Sub(st.SubmittedAt)
+		}
+	}
+	done := 0
+	var fairCoords []float64
+	rows := make([]SvcTenantRow, 0, len(agg))
+	for _, tenant := range order {
+		row := agg[tenant]
+		if row.Jobs > 0 {
+			row.MeanWait /= time.Duration(row.Jobs)
+			row.MeanRun /= time.Duration(row.Jobs)
+			row.MeanTurn /= time.Duration(row.Jobs)
+		}
+		done += row.Done
+		if tenant == "steady-a" || tenant == "steady-b" {
+			fairCoords = append(fairCoords, row.NormService)
+		}
+		rows = append(rows, *row)
+	}
+	sortRowsByTenant(rows)
+	return &SvcReport{
+		PoolSize:   poolSize,
+		Jobs:       len(ids),
+		Elapsed:    elapsed,
+		Throughput: float64(done) / elapsed.Seconds(),
+		Fairness:   jainIndex(fairCoords),
+		Rows:       rows,
+	}, nil
+}
+
+func sortRowsByTenant(rows []SvcTenantRow) {
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j].Tenant < rows[j-1].Tenant; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+}
+
+// RenderSvc formats the service-scheduler report.
+func RenderSvc(rep *SvcReport) string {
+	t := &metrics.Table{
+		Title: fmt.Sprintf(
+			"Multi-tenant service — mixed arrival trace on a shared %d-slave pool (%d jobs in %.2fs, %.2f jobs/s, Jain fairness %.3f)",
+			rep.PoolSize, rep.Jobs, rep.Elapsed.Seconds(), rep.Throughput, rep.Fairness),
+		Headers: []string{"tenant", "prio", "jobs", "done", "preempted", "mean_wait", "mean_run", "mean_turnaround", "slave_sec"},
+	}
+	for _, r := range rep.Rows {
+		t.AddRowf(r.Tenant, r.Priority, r.Jobs, r.Done, r.Preemptions,
+			r.MeanWait, r.MeanRun, r.MeanTurn, fmt.Sprintf("%.2f", r.SlaveSec))
+	}
+	return t.String()
+}

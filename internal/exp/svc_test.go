@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSvcSchedule runs the mixed arrival trace at quick scale and checks
+// the report's invariants: every job completes, the high-priority tenant
+// forces at least one preemption somewhere, urgent work never waits longer
+// than batch work, and the steady tenants split service near-evenly.
+func TestSvcSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service trace is wall-clock, not -short")
+	}
+	rep, err := SvcSchedule(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs == 0 {
+		t.Fatal("empty trace")
+	}
+	byTenant := map[string]SvcTenantRow{}
+	done := 0
+	var preempted int64
+	for _, r := range rep.Rows {
+		byTenant[r.Tenant] = r
+		done += r.Done
+		preempted += r.Preemptions
+	}
+	if done != rep.Jobs {
+		t.Errorf("%d/%d jobs done", done, rep.Jobs)
+	}
+	if preempted < 1 {
+		t.Error("high-priority arrivals never preempted anyone")
+	}
+	urgent, batch := byTenant["urgent"], byTenant["batch"]
+	if urgent.Jobs == 0 || batch.Jobs == 0 {
+		t.Fatalf("missing tenants in report: %+v", rep.Rows)
+	}
+	if urgent.MeanWait > batch.MeanWait {
+		t.Errorf("urgent mean wait %v exceeds batch %v; priority inverted", urgent.MeanWait, batch.MeanWait)
+	}
+	if rep.Fairness < 0.8 {
+		t.Errorf("Jain fairness %.3f between equal-weight steady tenants, want >= 0.8", rep.Fairness)
+	}
+	if math.IsNaN(rep.Throughput) || rep.Throughput <= 0 {
+		t.Errorf("throughput %v", rep.Throughput)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := jainIndex([]float64{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal shares: %g, want 1", got)
+	}
+	if got := jainIndex([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("one hog of four: %g, want 0.25", got)
+	}
+	if got := jainIndex(nil); got != 0 {
+		t.Errorf("empty: %g, want 0", got)
+	}
+}

@@ -8,9 +8,9 @@ import (
 )
 
 // Format renders a program as canonical parseable source. Array
-// initializers are opaque Go functions and cannot be recovered; they are
-// emitted as `init zero` placeholders, so Parse(Format(p)) preserves the
-// program structure but not initial data.
+// initializers named by an InitSpec (every library program) round-trip
+// through `init` clauses; an Init function with no spec is an opaque Go
+// value that cannot be recovered and formats as zero initialization.
 func Format(p *loopir.Program) string {
 	var sb strings.Builder
 	// Program names are free-form in loopir but identifiers in source.
@@ -20,6 +20,9 @@ func Format(p *loopir.Program) string {
 		fmt.Fprintf(&sb, "array %s", a.Name)
 		for _, d := range a.Dims {
 			fmt.Fprintf(&sb, "[%s]", formatIExpr(d))
+		}
+		if a.InitSpec != "" {
+			fmt.Fprintf(&sb, " init %s", a.InitSpec)
 		}
 		sb.WriteString(";\n")
 	}

@@ -183,6 +183,10 @@ func (p *parser) arrayDecl() (*loopir.ArrayDecl, error) {
 			}
 		}
 		decl.Init = builder(arg)
+		if fn.text != "zero" {
+			// Canonical spec so Format(Parse(src)) reproduces the clause.
+			decl.InitSpec = fmt.Sprintf("%s(%s)", fn.text, strconv.FormatFloat(arg, 'g', -1, 64))
+		}
 	}
 	if _, err := p.expect(";"); err != nil {
 		return nil, err

@@ -193,10 +193,14 @@ func Set(lhs Ref, rhs Expr) *Assign { return &Assign{LHS: lhs, RHS: rhs} }
 type InitFn func(idx []int) float64
 
 // ArrayDecl declares a dense float64 array with parameterized extents.
+// InitSpec, when non-empty, names Init in the source language's initializer
+// syntax (e.g. "hash(3)") so formatting a program preserves its initial
+// data; Init alone is an opaque function and cannot be serialized.
 type ArrayDecl struct {
-	Name string
-	Dims []IExpr
-	Init InitFn
+	Name     string
+	Dims     []IExpr
+	Init     InitFn
+	InitSpec string
 }
 
 // Program is a complete sequential loop-nest program.

@@ -36,8 +36,8 @@ func MatMul() *Program {
 		Name:   "mm",
 		Params: []string{"n"},
 		Arrays: []*ArrayDecl{
-			{Name: "a", Dims: []IExpr{n, n}, Init: saltedInit(1)},
-			{Name: "b", Dims: []IExpr{n, n}, Init: saltedInit(2)},
+			{Name: "a", Dims: []IExpr{n, n}, Init: saltedInit(1), InitSpec: "hash(1)"},
+			{Name: "b", Dims: []IExpr{n, n}, Init: saltedInit(2), InitSpec: "hash(2)"},
 			{Name: "c", Dims: []IExpr{n, n}}, // zero
 		},
 		Body: []Stmt{
@@ -68,7 +68,7 @@ func SOR() *Program {
 		Name:   "sor",
 		Params: []string{"n", "maxiter"},
 		Arrays: []*ArrayDecl{
-			{Name: "b", Dims: []IExpr{n, n}, Init: saltedInit(3)},
+			{Name: "b", Dims: []IExpr{n, n}, Init: saltedInit(3), InitSpec: "hash(3)"},
 		},
 		Body: []Stmt{
 			For("iter", Ic(0), Iv("maxiter"),
@@ -105,10 +105,11 @@ func LU() *Program {
 		Name:   "lu",
 		Params: []string{"n"},
 		Arrays: []*ArrayDecl{
-			{Name: "a", Dims: []IExpr{n, n}, Init: func(idx []int) float64 {
+			// Strong diagonal: no pivoting required. Matches the source
+			// language's diagdom initializer (salt 4, +v on the diagonal).
+			{Name: "a", Dims: []IExpr{n, n}, InitSpec: "diagdom(4)", Init: func(idx []int) float64 {
 				v := hashInit(4, idx)
 				if idx[0] == idx[1] {
-					// Strong diagonal: no pivoting required.
 					return v + 4.0
 				}
 				return v
@@ -144,7 +145,7 @@ func Jacobi() *Program {
 		Name:   "jacobi",
 		Params: []string{"n", "maxiter"},
 		Arrays: []*ArrayDecl{
-			{Name: "a", Dims: []IExpr{n, n}, Init: saltedInit(5)},
+			{Name: "a", Dims: []IExpr{n, n}, Init: saltedInit(5), InitSpec: "hash(5)"},
 			{Name: "anew", Dims: []IExpr{n, n}},
 		},
 		Body: []Stmt{
@@ -174,7 +175,7 @@ func ThresholdRelax() *Program {
 		Name:   "threshold-relax",
 		Params: []string{"n", "maxiter"},
 		Arrays: []*ArrayDecl{
-			{Name: "v", Dims: []IExpr{n, n}, Init: saltedInit(6)},
+			{Name: "v", Dims: []IExpr{n, n}, Init: saltedInit(6), InitSpec: "hash(6)"},
 		},
 		Body: []Stmt{
 			For("iter", Ic(0), Iv("maxiter"),
@@ -208,7 +209,7 @@ func PeriodicSOR() *Program {
 		Name:   "periodic-sor",
 		Params: []string{"n", "maxiter"},
 		Arrays: []*ArrayDecl{
-			{Name: "b", Dims: []IExpr{n, n}, Init: saltedInit(11)},
+			{Name: "b", Dims: []IExpr{n, n}, Init: saltedInit(11), InitSpec: "hash(11)"},
 		},
 		Body: []Stmt{
 			For("iter", Ic(0), Iv("maxiter"),
@@ -245,7 +246,7 @@ func JacobiConverge() *Program {
 		Name:   "jacobi-converge",
 		Params: []string{"n", "maxiter"},
 		Arrays: []*ArrayDecl{
-			{Name: "a", Dims: []IExpr{n, n}, Init: saltedInit(5)},
+			{Name: "a", Dims: []IExpr{n, n}, Init: saltedInit(5), InitSpec: "hash(5)"},
 			{Name: "anew", Dims: []IExpr{n, n}},
 			{Name: "r", Dims: []IExpr{Ic(1)}},
 		},
@@ -284,7 +285,7 @@ func Jacobi3D() *Program {
 		Name:   "jacobi3d",
 		Params: []string{"n", "maxiter"},
 		Arrays: []*ArrayDecl{
-			{Name: "u", Dims: []IExpr{n, n, n}, Init: saltedInit(12)},
+			{Name: "u", Dims: []IExpr{n, n, n}, Init: saltedInit(12), InitSpec: "hash(12)"},
 			{Name: "unew", Dims: []IExpr{n, n, n}},
 		},
 		Body: []Stmt{
@@ -316,8 +317,8 @@ func Axpy() *Program {
 		Name:   "axpy",
 		Params: []string{"n", "maxiter"},
 		Arrays: []*ArrayDecl{
-			{Name: "x", Dims: []IExpr{n}, Init: saltedInit(7)},
-			{Name: "y", Dims: []IExpr{n}, Init: saltedInit(8)},
+			{Name: "x", Dims: []IExpr{n}, Init: saltedInit(7), InitSpec: "hash(7)"},
+			{Name: "y", Dims: []IExpr{n}, Init: saltedInit(8), InitSpec: "hash(8)"},
 		},
 		Body: []Stmt{
 			For("iter", Ic(0), Iv("maxiter"),

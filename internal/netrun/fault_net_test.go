@@ -207,7 +207,7 @@ func TestConnLossEviction(t *testing.T) {
 		DLB:         true,
 		RealQuantum: 2 * time.Millisecond,
 		Fault:       &fault.Plan{},
-		Detect:      fault.DetectorConfig{MinLease: 400 * time.Millisecond, HeartbeatEvery: 100 * time.Millisecond},
+		Detect:      ftDetect(),
 		Ckpt:        fault.CkptPolicy{MinInterval: 150 * time.Millisecond},
 	}
 	done := runFT(cfg, addrs, MasterOptions{})
@@ -244,7 +244,7 @@ func TestInjectedCrashEviction(t *testing.T) {
 		DLB:         true,
 		RealQuantum: 2 * time.Millisecond,
 		Fault:       fp,
-		Detect:      fault.DetectorConfig{MinLease: 400 * time.Millisecond, HeartbeatEvery: 100 * time.Millisecond},
+		Detect:      ftDetect(),
 		Ckpt:        fault.CkptPolicy{MinInterval: 150 * time.Millisecond},
 	}
 	out := <-runFT(cfg, addrs, MasterOptions{})
@@ -273,7 +273,7 @@ func TestReconnectRejoin(t *testing.T) {
 		DLB:         true,
 		RealQuantum: 2 * time.Millisecond,
 		Fault:       &fault.Plan{},
-		Detect:      fault.DetectorConfig{MinLease: 400 * time.Millisecond, HeartbeatEvery: 100 * time.Millisecond},
+		Detect:      ftDetect(),
 		Ckpt:        fault.CkptPolicy{MinInterval: 150 * time.Millisecond},
 	}
 	done := runFT(cfg, addrs, MasterOptions{ExtraSlots: 1})

@@ -1,6 +1,7 @@
 package netrun
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -30,6 +31,13 @@ type MasterOptions struct {
 	// run to gob. Slaves that don't accept the offer fall back to gob
 	// individually — mixed-codec runs are fully supported.
 	Codec string
+	// Prepared, when set, skips the Prepare step: the caller supplies the
+	// instantiation (typically from a plan cache) whose grain and resolved
+	// compile options this run must reuse. Required for resumed runs — a
+	// checkpoint replays only under the phase schedule it was cut with —
+	// and the reason resubmitted plans hash identically (grain measurement
+	// is timing-dependent; a cached Prepared pins it).
+	Prepared *dlb.Prepared
 	// Logf receives transport events (nil: silent).
 	Logf func(format string, args ...interface{})
 }
@@ -75,9 +83,13 @@ func RunMaster(cfg dlb.Config, slaveAddrs []string, opt MasterOptions) (*dlb.Res
 	if !cfg.DLB {
 		return nil, fmt.Errorf("netrun: distributed runs require DLB (hooks are the heartbeat and checkpoint substrate)")
 	}
-	pre, err := dlb.Prepare(cfg, n)
-	if err != nil {
-		return nil, err
+	pre := opt.Prepared
+	if pre == nil {
+		var err error
+		pre, err = dlb.Prepare(cfg, n)
+		if err != nil {
+			return nil, err
+		}
 	}
 	// Ship the resolved compile options: Prepare may have rebased the hook
 	// cost on measured kernel speed, and slaves must instantiate with the
@@ -108,6 +120,7 @@ func RunMaster(cfg dlb.Config, slaveAddrs []string, opt MasterOptions) (*dlb.Res
 	if listen == "" {
 		listen = "127.0.0.1:0"
 	}
+	var err error
 	m.ln, err = net.Listen("tcp", listen)
 	if err != nil {
 		return nil, fmt.Errorf("netrun: master listener: %w", err)
@@ -120,13 +133,15 @@ func RunMaster(cfg dlb.Config, slaveAddrs []string, opt MasterOptions) (*dlb.Res
 	// Dial and handshake the initial membership.
 	roster := map[int]string{}
 	codecs := map[int]string{}
+	cachedInit := make([]bool, n)
 	for i, addr := range slaveAddrs {
-		peerAddr, codec, err := m.handshakeSlave(i, addr)
+		peerAddr, codec, hasInit, err := m.handshakeSlave(i, addr)
 		if err != nil {
 			return nil, fmt.Errorf("netrun: slave %d at %s: %w", i, addr, err)
 		}
 		roster[i] = peerAddr
 		codecs[i] = codec
+		cachedInit[i] = hasInit
 	}
 	m.rt.mergeRoster(roster, codecs)
 	// The roster is the first frame on every connection: FIFO delivery
@@ -158,7 +173,7 @@ func RunMaster(cfg dlb.Config, slaveAddrs []string, opt MasterOptions) (*dlb.Res
 		LinkLatency:  100 * time.Microsecond,
 		SendOverhead: 10 * time.Microsecond,
 	}
-	ep := newEndpoint(m.rt, m.box, 1)
+	ep := &advisedEndpoint{endpoint: newEndpoint(m.rt, m.box, 1), cached: cachedInit}
 	return dlb.RunMasterOn(ep, cfg, cc, n, m.total, pre)
 }
 
@@ -173,11 +188,29 @@ func (m *netMaster) shutdown() {
 
 // handshakeSlave dials one initial slave, sends the StartMsg (with the
 // codec offer), validates the HelloMsg reply, and attaches the connection
-// with the codec the slave accepted.
-func (m *netMaster) handshakeSlave(node int, addr string) (peerAddr, codec string, err error) {
+// with the codec the slave accepted. A busy rejection is retried with
+// backoff within the dial budget: a scheduler re-leasing a slave whose
+// previous (preempted or completed) session is still tearing down should
+// wait it out, not fail the run.
+func (m *netMaster) handshakeSlave(node int, addr string) (peerAddr, codec string, initCached bool, err error) {
+	deadline := time.Now().Add(m.to.Dial)
+	backoff := 20 * time.Millisecond
+	for {
+		peerAddr, codec, initCached, err = m.handshakeSlaveOnce(node, addr)
+		if err == nil || !errors.Is(err, ErrBusy) || time.Now().Add(backoff).After(deadline) {
+			return
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+}
+
+func (m *netMaster) handshakeSlaveOnce(node int, addr string) (peerAddr, codec string, initCached bool, err error) {
 	nc, err := dialBackoff(addr, m.to.Dial)
 	if err != nil {
-		return "", "", err
+		return "", "", false, err
 	}
 	wc := wire.NewConn(nc)
 	nc.SetDeadline(time.Now().Add(m.to.Handshake))
@@ -193,24 +226,24 @@ func (m *netMaster) handshakeSlave(node int, addr string) (peerAddr, codec strin
 	}
 	if err := wc.Send(wire.Envelope{Tag: wire.TagStart, From: cluster.MasterID, Payload: start}); err != nil {
 		nc.Close()
-		return "", "", err
+		return "", "", false, err
 	}
 	h, err := recvHello(wc)
 	if err != nil {
 		nc.Close()
-		return "", "", err
+		return "", "", false, err
 	}
 	if err := m.checkHello(h); err != nil {
 		nc.Close()
-		return "", "", err
+		return "", "", false, err
 	}
 	nc.SetDeadline(time.Time{})
 	codec = m.negotiated(h)
 	wc.SetBinary(codec == wire.CodecBinary)
 	m.rt.attach(node, nc, wc, true)
-	m.logf("slave %d connected from %s (peer listener %s, codec %s)",
-		node, nc.RemoteAddr(), h.PeerAddr, codecName(codec))
-	return h.PeerAddr, codec, nil
+	m.logf("slave %d connected from %s (peer listener %s, codec %s, initCached %v)",
+		node, nc.RemoteAddr(), h.PeerAddr, codecName(codec), h.InitCached)
+	return h.PeerAddr, codec, h.InitCached, nil
 }
 
 // negotiated resolves the data-plane codec for one slave connection: the

@@ -53,6 +53,7 @@ var (
 	ErrPlanHashMismatch = errors.New("netrun: plan hash mismatch")
 	ErrDuplicateID      = errors.New("netrun: node id already connected")
 	ErrNoFreeSlots      = errors.New("netrun: no free joiner slots")
+	ErrBusy             = errors.New("netrun: daemon is busy with another run")
 	ErrProtocol         = errors.New("netrun: protocol error")
 )
 
@@ -68,6 +69,8 @@ func rejectErr(r wire.RejectMsg) error {
 		base = ErrDuplicateID
 	case wire.RejectFull:
 		base = ErrNoFreeSlots
+	case wire.RejectBusy:
+		base = ErrBusy
 	default:
 		base = ErrProtocol
 	}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package netrun
+
+const raceDetector = false

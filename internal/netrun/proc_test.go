@@ -2,11 +2,13 @@ package netrun
 
 import (
 	"bufio"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -98,7 +100,7 @@ func TestMultiProcessMM(t *testing.T) {
 		DLB:         true,
 		RealQuantum: 2 * time.Millisecond,
 		Fault:       &fault.Plan{},
-		Detect:      fault.DetectorConfig{MinLease: 400 * time.Millisecond, HeartbeatEvery: 100 * time.Millisecond},
+		Detect:      ftDetect(),
 		Ckpt:        fault.CkptPolicy{MinInterval: 150 * time.Millisecond},
 	}
 	done := runFT(cfg, addrs, MasterOptions{})
@@ -125,6 +127,60 @@ func TestMultiProcessMM(t *testing.T) {
 		t.Errorf("no master-directed work redistribution (moves = %d)", out.res.Moves)
 	}
 	checkBitIdentical(t, out.res, seqReference(t, plan, params))
+}
+
+// TestDaemonSIGTERMDrains is the shutdown regression: SIGTERM to a dlbd
+// mid-run must drain the in-flight session (the master finishes cleanly,
+// nobody is evicted), exit with status 0, and release the bound port. The
+// old behavior tore the session down immediately, which failed the run and
+// could leak the port to the kernel's lingering-socket grace.
+func TestDaemonSIGTERMDrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process harness is not -short")
+	}
+	bin := buildDlbd(t)
+	daemons := make([]*daemon, 4)
+	addrs := make([]string, 4)
+	for i := range daemons {
+		daemons[i] = spawnDaemon(t, bin, 10)
+		addrs[i] = daemons[i].addr
+	}
+
+	plan, params := testPlan(t, "mm", 256, 0)
+	cfg := dlb.Config{Plan: plan, Params: params, DLB: true, RealQuantum: 2 * time.Millisecond}
+	done := runFT(cfg, addrs, MasterOptions{})
+
+	time.Sleep(500 * time.Millisecond)
+	if err := daemons[1].cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signaling daemon 1: %v", err)
+	}
+
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if len(out.res.Evicted) != 0 {
+		t.Errorf("evicted = %v; a draining daemon must finish its run, not drop it", out.res.Evicted)
+	}
+	checkBitIdentical(t, out.res, seqReference(t, plan, params))
+
+	// The daemon had no more work after the drain: it must exit 0 promptly
+	// and leave its port rebindable.
+	waited := make(chan error, 1)
+	go func() { waited <- daemons[1].cmd.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM drain: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM drain")
+	}
+	ln, err := net.Listen("tcp", daemons[1].addr)
+	if err != nil {
+		t.Fatalf("port not rebindable after SIGTERM: %v", err)
+	}
+	ln.Close()
 }
 
 // TestMultiProcessSOR runs the calibrated SOR plan over four dlbd child

@@ -1,0 +1,8 @@
+//go:build race
+
+package netrun
+
+// raceDetector reports whether the race detector is compiled in; tests
+// with wall-clock failure-detection leases stretch them to absorb its
+// slowdown.
+const raceDetector = true

@@ -39,6 +39,11 @@ type ServerOptions struct {
 	// wire.CodecGob pins this daemon to gob regardless of the offer —
 	// peers then talk gob to it while speaking binary among themselves.
 	Codec string
+	// InitCacheEntries bounds the daemon's plan-hash init cache: decoded
+	// initial-scatter payloads kept across runs, so resubmitting an
+	// identical plan skips the bulk re-ship (0: default 4; negative:
+	// disabled).
+	InitCacheEntries int
 	// Logf receives daemon events (nil: silent).
 	Logf func(format string, args ...interface{})
 }
@@ -48,9 +53,10 @@ type ServerOptions struct {
 // over the TCP endpoint, and rejoining the master elastically after a lost
 // connection.
 type Server struct {
-	opt ServerOptions
-	to  Timeouts
-	ln  net.Listener
+	opt   ServerOptions
+	to    Timeouts
+	ln    net.Listener
+	inits *initCache
 
 	mu     sync.Mutex
 	sess   *session
@@ -63,6 +69,12 @@ type session struct {
 	node int
 	rt   *router
 	box  *mailbox
+	// Init-cache pinning for this session: the key the run's scatter is
+	// stored under, and — when the daemon announced InitCached — the
+	// payload pinned at handshake time, immune to later evictions.
+	initKey    initKey
+	cachedInit dlb.InitMsg
+	haveCached bool
 }
 
 // NewServer binds the daemon's listener.
@@ -75,7 +87,11 @@ func NewServer(opt ServerOptions) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netrun: slave listener: %w", err)
 	}
-	return &Server{opt: opt, to: opt.Timeouts.withDefaults(), ln: ln}, nil
+	entries := opt.InitCacheEntries
+	if entries == 0 {
+		entries = 4
+	}
+	return &Server{opt: opt, to: opt.Timeouts.withDefaults(), ln: ln, inits: newInitCache(entries)}, nil
 }
 
 // Addr is the bound listener address.
@@ -94,8 +110,12 @@ func (s *Server) logf(format string, args ...interface{}) {
 	}
 }
 
-// Close stops the daemon: the listener shuts down and any active run is
-// torn down (its master sees the silence and evicts this node).
+// Close stops the daemon immediately: the listener shuts down and any
+// active run is torn down (its master sees the silence and evicts this
+// node). The mailbox is poisoned before the router closes, so a slave loop
+// blocked in a receive unwinds while the in-flight frames flush — Close
+// returns once every session goroutine has exited and the port is free to
+// rebind.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -103,8 +123,46 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	err := s.ln.Close()
 	if sess != nil {
-		sess.rt.close()
 		sess.box.setFail(errors.New("server closed"))
+		sess.rt.close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Shutdown stops the daemon gracefully: new runs are refused at once, but
+// an active session keeps running — with its listener still accepting the
+// peer connections mid-run work movement needs — until it completes or the
+// grace period expires, whichever comes first. A survivor past the grace
+// is torn down as Close does. This is the SIGTERM path: a mid-run kill
+// drains instead of leaking the session (and, with it, the bound port).
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	deadline := time.Now().Add(grace)
+	for {
+		s.mu.Lock()
+		active := s.sess != nil
+		s.mu.Unlock()
+		if !active || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	err := s.ln.Close()
+	s.mu.Lock()
+	sess := s.sess
+	s.mu.Unlock()
+	if sess != nil {
+		sess.box.setFail(errors.New("server shutting down"))
+		sess.rt.close()
 	}
 	s.wg.Wait()
 	return err
@@ -219,6 +277,14 @@ func (s *Server) runSession(nc net.Conn, wc *wire.Conn, st wire.StartMsg, joiner
 		})
 		return
 	}
+	// Pin this plan's cached init payload (if any) before announcing it:
+	// the announcement commits the daemon to replaying it, so it must be
+	// immune to cache evictions between handshake and scatter.
+	key := initKey{hash: hash, node: st.Node, slaves: st.Slaves}
+	cachedInit, haveCached := s.inits.get(key)
+	if joiner {
+		haveCached = false // joiners are adopted, never scattered to
+	}
 
 	// Accept the master's binary-codec offer unless this daemon is pinned
 	// to gob. The acceptance goes back in the HelloMsg; binary frames flow
@@ -229,11 +295,19 @@ func (s *Server) runSession(nc net.Conn, wc *wire.Conn, st wire.StartMsg, joiner
 	rt := newRouter(st.Node, box, s.to, true)
 	rt.binarySelf = wantBinary
 	rt.mergeRoster(st.Roster, st.Codecs)
-	sess := &session{node: st.Node, rt: rt, box: box}
+	sess := &session{node: st.Node, rt: rt, box: box, initKey: key, cachedInit: cachedInit, haveCached: haveCached}
 	s.mu.Lock()
 	if s.sess != nil || s.closed {
+		busy := s.sess != nil && !s.closed
 		s.mu.Unlock()
-		s.reject(wc, nc, wire.RejectMsg{Code: wire.RejectProtocol, Detail: "daemon is busy with another run"})
+		if busy {
+			// Retryable: the master backs off and redials — a scheduler
+			// re-leasing this daemon right after preempting its previous
+			// run races the old session's teardown.
+			s.reject(wc, nc, wire.RejectMsg{Code: wire.RejectBusy, Detail: "daemon is busy with another run"})
+		} else {
+			s.reject(wc, nc, wire.RejectMsg{Code: wire.RejectProtocol, Detail: "daemon is shutting down"})
+		}
 		return
 	}
 	s.sess = sess
@@ -241,11 +315,12 @@ func (s *Server) runSession(nc net.Conn, wc *wire.Conn, st wire.StartMsg, joiner
 
 	nc.SetWriteDeadline(time.Now().Add(s.to.Handshake))
 	hello := wire.HelloMsg{
-		Version:  ProtocolVersion,
-		Node:     st.Node,
-		PlanHash: hash,
-		PeerAddr: s.advertise(),
-		Join:     joiner,
+		Version:    ProtocolVersion,
+		Node:       st.Node,
+		PlanHash:   hash,
+		PeerAddr:   s.advertise(),
+		Join:       joiner,
+		InitCached: haveCached,
 	}
 	if wantBinary {
 		hello.Codec = wire.CodecBinary
@@ -298,7 +373,13 @@ func (s *Server) runSlave(sess *session, cfg dlb.Config, st wire.StartMsg, joine
 			err = fmt.Errorf("netrun: slave %d panicked: %v", sess.node, p)
 		}
 	}()
-	ep := newEndpoint(sess.rt, sess.box, s.opt.Drag)
+	ep := &initCacheEP{
+		endpoint: newEndpoint(sess.rt, sess.box, s.opt.Drag),
+		cache:    s.inits,
+		key:      sess.initKey,
+		cached:   sess.cachedInit,
+		have:     sess.haveCached,
+	}
 	return dlb.RunSlaveOn(ep, cfg, st.Node, st.Slaves, joiner, pre)
 }
 

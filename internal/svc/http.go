@@ -1,0 +1,105 @@
+package svc
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// maxBodyBytes bounds a submission body (programs are small source texts).
+const maxBodyBytes = 8 << 20
+
+// Handler returns the HTTP front door:
+//
+//	POST   /api/v1/jobs             submit a JobSpec    → 202 {"id": ...}
+//	GET    /api/v1/jobs             list jobs           → 200 [JobStatus]
+//	GET    /api/v1/jobs/{id}        job status          → 200 JobStatus
+//	GET    /api/v1/jobs/{id}/result terminal outcome    → 200 JobResult
+//	DELETE /api/v1/jobs/{id}        cancel              → 200
+//	GET    /statsz                  service telemetry   → 200 Statsz
+//	GET    /healthz                 liveness            → 200 "ok"
+//
+// A full queue answers 429 with Retry-After; an unfinished job's result is
+// 409; unknown jobs are 404.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrClosed):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": StateQueued})
+	}
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Result(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeErr(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrNotDone):
+		writeErr(w, http.StatusConflict, err)
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if err := s.Cancel(r.PathValue("id")); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": r.PathValue("id"), "state": "canceling"})
+}
+
+func (s *Service) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Statsz())
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package svc
+
+const raceDetector = false

@@ -1,0 +1,113 @@
+package svc
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/compile"
+	"repro/internal/depend"
+	"repro/internal/dlb"
+	"repro/internal/lang"
+)
+
+// planEntry is one compiled, instantiated plan: everything a run reuses.
+// Pinning the Prepared (grain + resolved compile options) is what makes
+// resubmission hit the daemons' init caches — the grain measurement is
+// timing-dependent, so recompiling per run would hash differently — and
+// what lets a preempted job resume under the phase schedule its checkpoint
+// was cut with.
+type planEntry struct {
+	plan *compile.Plan
+	pre  *dlb.Prepared
+}
+
+// planCache memoizes compilation by (program content, params, distribution,
+// slave count). Bounded LRU; the Service's mutex guards all calls.
+type planCache struct {
+	max   int
+	order []string
+	items map[string]*planEntry
+}
+
+func newPlanCache(max int) *planCache {
+	if max <= 0 {
+		max = 16
+	}
+	return &planCache{max: max, items: map[string]*planEntry{}}
+}
+
+// specKey fingerprints everything that determines the compiled plan and
+// its instantiation.
+func specKey(spec JobSpec) string {
+	h := sha256.New()
+	io.WriteString(h, "svc-plan-v1\n")
+	io.WriteString(h, spec.Program)
+	io.WriteString(h, "\x00")
+	keys := make([]string, 0, len(spec.Params))
+	for k := range spec.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%d\n", k, spec.Params[k])
+	}
+	dims := make([]string, 0, len(spec.DistDims))
+	for k := range spec.DistDims {
+		dims = append(dims, k)
+	}
+	sort.Strings(dims)
+	for _, k := range dims {
+		fmt.Fprintf(h, "dim %s:%d\n", k, spec.DistDims[k])
+	}
+	for _, l := range spec.DistLoops {
+		fmt.Fprintf(h, "loop %s\n", l)
+	}
+	fmt.Fprintf(h, "slaves=%d sync=%v cores=%d\n", spec.Slaves, spec.Synchronous, spec.Cores)
+	return hex.EncodeToString(h.Sum(nil))[:24]
+}
+
+// lookup compiles and instantiates spec (or returns the cached entry).
+// cfgFor builds the run Config the instantiation must measure under.
+func (c *planCache) lookup(spec JobSpec, cfgFor func(*compile.Plan) dlb.Config) (*planEntry, error) {
+	key := specKey(spec)
+	if e, ok := c.items[key]; ok {
+		c.bump(key)
+		return e, nil
+	}
+	prog, err := lang.Parse(spec.Program)
+	if err != nil {
+		return nil, fmt.Errorf("svc: parsing program: %w", err)
+	}
+	plan, err := compile.Compile(prog, compile.Options{
+		Dist: depend.DistSpec{Dims: spec.DistDims, Loops: spec.DistLoops},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("svc: compiling program: %w", err)
+	}
+	pre, err := dlb.Prepare(cfgFor(plan), spec.Slaves)
+	if err != nil {
+		return nil, fmt.Errorf("svc: instantiating plan: %w", err)
+	}
+	e := &planEntry{plan: plan, pre: pre}
+	for len(c.items) >= c.max {
+		old := c.order[0]
+		c.order = c.order[1:]
+		delete(c.items, old)
+	}
+	c.items[key] = e
+	c.order = append(c.order, key)
+	return e, nil
+}
+
+func (c *planCache) bump(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.order = append(c.order, key)
+}

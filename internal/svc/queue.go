@@ -1,0 +1,92 @@
+package svc
+
+import "errors"
+
+// ErrQueueFull is the admission-control rejection: the waiting set is at
+// capacity and the client should back off and resubmit (HTTP 429).
+var ErrQueueFull = errors.New("svc: job queue is full")
+
+// queue is the waiting set: every job that wants a lease (freshly queued
+// or preempted). Ordering is decided at pick time, not insertion time,
+// because the fairness criterion — normalized tenant service — moves as
+// jobs run:
+//
+//  1. priority class (high before normal before low);
+//  2. within a class, the tenant with the least served/weight slave-seconds
+//     (weighted max-min fairness over accumulated service);
+//  3. within a tenant, admission order (FIFO) — which also puts a
+//     preempted job ahead of the same tenant's later submissions, so held
+//     progress is resumed before new work starts.
+//
+// The pick is head-of-line per scan: the scheduler stops at the first job
+// it cannot place (see Service.schedule), trading a little utilization for
+// a hard no-starvation property — capacity freed while a big job waits
+// cannot be drained away by smaller jobs behind it.
+//
+// The owning Service's mutex guards all calls.
+type queue struct {
+	max  int
+	jobs []*Job // admission order
+}
+
+func newQueue(max int) *queue {
+	if max <= 0 {
+		max = 64
+	}
+	return &queue{max: max}
+}
+
+func (q *queue) len() int { return len(q.jobs) }
+
+// add admits a job to the waiting set, enforcing the bound. Re-queued
+// (preempted) jobs bypass the bound: they were already admitted and hold
+// checkpointed progress the service must not drop.
+func (q *queue) add(j *Job, readmit bool) error {
+	if !readmit && len(q.jobs) >= q.max {
+		return ErrQueueFull
+	}
+	q.jobs = append(q.jobs, j)
+	// Keep admission order: re-queued jobs carry their original Seq.
+	for i := len(q.jobs) - 1; i > 0 && q.jobs[i].Seq < q.jobs[i-1].Seq; i-- {
+		q.jobs[i], q.jobs[i-1] = q.jobs[i-1], q.jobs[i]
+	}
+	return nil
+}
+
+// remove takes a job out of the waiting set (scheduled or canceled).
+func (q *queue) remove(j *Job) {
+	for i, x := range q.jobs {
+		if x == j {
+			q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
+			return
+		}
+	}
+}
+
+// pick returns the next job by the fairness order, or nil when empty.
+// served reports a tenant's normalized accumulated service.
+func (q *queue) pick(served func(tenant string) float64) *Job {
+	var best *Job
+	var bestServed float64
+	for _, j := range q.jobs {
+		if best == nil {
+			best, bestServed = j, served(j.Spec.Tenant)
+			continue
+		}
+		br, jr := classRank(best.Spec.Priority), classRank(j.Spec.Priority)
+		if jr != br {
+			if jr < br {
+				best, bestServed = j, served(j.Spec.Tenant)
+			}
+			continue
+		}
+		if j.Spec.Tenant != best.Spec.Tenant {
+			if js := served(j.Spec.Tenant); js < bestServed {
+				best, bestServed = j, js
+			}
+			continue
+		}
+		// Same class, same tenant: q.jobs is admission-ordered, keep best.
+	}
+	return best
+}

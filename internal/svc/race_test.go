@@ -1,0 +1,8 @@
+//go:build race
+
+package svc
+
+// raceDetector reports whether the race detector is compiled in. Its
+// 5-20x slowdown makes heartbeats miss the short failure-detection
+// leases the tests normally use, so wall-clock timings scale up.
+const raceDetector = true
