@@ -9,7 +9,7 @@
 //	dlbbench -out results/    # write <name>.txt (and fig9.csv) files
 //
 // Experiments: table1 fig5 fig6 fig7 fig8 fig9 pipeline grain refinements
-// lu baselines hetero fault net plane kernel
+// lu baselines hetero fault net svc plane kernel scale
 package main
 
 import (
@@ -35,7 +35,7 @@ type artifact struct {
 }
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run (table1, fig5..fig9, pipeline, grain, refinements, lu, baselines, hetero, fault, net, svc, plane, kernel, all)")
+	which := flag.String("exp", "all", "experiment to run (table1, fig5..fig9, pipeline, grain, refinements, lu, baselines, hetero, fault, net, svc, plane, kernel, scale, all)")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	out := flag.String("out", "", "directory to write artifacts to (default: stdout)")
 	flag.Parse()
@@ -165,6 +165,19 @@ func main() {
 			content: exp.RenderPlane(rep),
 			extra: map[string]string{
 				"BENCH_plane.json": exp.PlaneJSON(rep),
+			},
+		})
+	}
+	if want("scale") {
+		rep, err := exp.ScaleSweep(scale)
+		if err != nil {
+			fail(err)
+		}
+		artifacts = append(artifacts, artifact{
+			name:    "scale",
+			content: exp.RenderScale(rep),
+			extra: map[string]string{
+				"BENCH_scale.json": exp.ScaleJSON(rep),
 			},
 		})
 	}

@@ -87,6 +87,10 @@ func main() {
 	flopCost := flag.Duration("flopcost", time.Microsecond, "virtual CPU time per flop (1µs ≈ Sun 4/330)")
 	real := flag.Bool("real", false, "run for real: wall-clock goroutines instead of the simulated cluster")
 	cores := flag.Int("cores", 0, "kernel worker goroutines per slave (0/1: sequential, -1: all hardware cores)")
+	groups := flag.Int("groups", 0, "hierarchical balancing: partition slaves into this many leader-led groups (0/1: flat)")
+	groupEvery := flag.Int("group-every", 0, "inter-group diffusive exchange cadence in balancing rounds (0: default 4)")
+	groupAlpha := flag.Float64("group-alpha", 0, "diffusion under-relaxation factor in (0,1] (0: default 0.5)")
+	reportCost := flag.Duration("report-cost", 0, "per-report CPU charge on whoever collects a status (master, or group leaders)")
 	drag := flag.Float64("drag", 1.0, "with -real: slow slave 0 by this factor (emulated loaded machine)")
 	faultSpec := flag.String("fault", "", "fault plan: crash:S@T | stall:S@T:D | drop:S@T:D | join@T (comma-separated; seconds)")
 	lease := flag.Duration("lease", 0, "failure-detection lease floor (with -fault; 0: default)")
@@ -167,13 +171,17 @@ func main() {
 	}
 
 	cfg := dlb.Config{
-		Plan:         plan,
-		Params:       params,
-		DLB:          !*nodlb,
-		Synchronous:  *sync,
-		FlopCost:     *flopCost,
-		Cores:        *cores,
-		CollectTrace: *showTrace,
+		Plan:               plan,
+		Params:             params,
+		DLB:                !*nodlb,
+		Synchronous:        *sync,
+		FlopCost:           *flopCost,
+		Cores:              *cores,
+		Groups:             *groups,
+		GroupExchangeEvery: *groupEvery,
+		GroupDiffusion:     *groupAlpha,
+		PerReportCost:      *reportCost,
+		CollectTrace:       *showTrace,
 	}
 	if *faultSpec != "" {
 		fp, err := fault.ParseSpec(*faultSpec)

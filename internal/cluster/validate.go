@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed configuration errors. Callers classify with errors.Is; before
+// these existed a bad configuration either panicked deep inside the
+// scheduler (no slaves) or silently misbehaved (an unsorted Steps profile
+// returns wrong loads from its linear scan).
+var (
+	// ErrNoSlaves rejects a cluster with no worker nodes.
+	ErrNoSlaves = errors.New("cluster: need at least one slave")
+	// ErrBadSpeed rejects a negative per-slave speed (zero means "use the
+	// baseline default" and is allowed).
+	ErrBadSpeed = errors.New("cluster: negative slave speed")
+	// ErrBadProfile rejects a malformed load profile.
+	ErrBadProfile = errors.New("cluster: invalid load profile")
+)
+
+// Validate checks the configuration the way New would consume it and
+// returns a typed error for anything that would panic or silently
+// misbehave later. Defaults (zero Quantum, Bandwidth, ...) are not errors
+// — withDefaults fills them in.
+func (c *Config) Validate() error {
+	if c.Slaves < 1 {
+		return fmt.Errorf("%w: got %d", ErrNoSlaves, c.Slaves)
+	}
+	for i, sp := range c.Speed {
+		if sp < 0 {
+			return fmt.Errorf("%w: slave %d speed %v", ErrBadSpeed, i, sp)
+		}
+	}
+	for i, p := range c.Load {
+		if p == nil {
+			continue
+		}
+		if err := ValidateProfile(p); err != nil {
+			return fmt.Errorf("slave %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ValidateProfile checks the known load-profile shapes. Steps must be
+// sorted ascending by At with non-negative task counts (the linear scans
+// in At/NextChange assume order); SquareWave and Constant must have
+// non-negative parameters. Custom LoadProfile implementations pass
+// unchecked.
+func ValidateProfile(p LoadProfile) error {
+	switch p := p.(type) {
+	case Constant:
+		if p < 0 {
+			return fmt.Errorf("%w: Constant(%d) competitors", ErrBadProfile, int(p))
+		}
+	case SquareWave:
+		if p.Period < 0 || p.OnDuration < 0 || p.Tasks < 0 {
+			return fmt.Errorf("%w: SquareWave{Period: %v, OnDuration: %v, Tasks: %d}",
+				ErrBadProfile, p.Period, p.OnDuration, p.Tasks)
+		}
+	case Steps:
+		for i, st := range p {
+			if st.Tasks < 0 {
+				return fmt.Errorf("%w: Steps segment %d has %d competitors", ErrBadProfile, i, st.Tasks)
+			}
+			if i > 0 && st.At <= p[i-1].At {
+				return fmt.Errorf("%w: Steps segment %d at %v not after segment %d at %v",
+					ErrBadProfile, i, st.At, i-1, p[i-1].At)
+			}
+		}
+	}
+	return nil
+}

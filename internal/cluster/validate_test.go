@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	cfg := Config{Slaves: 4}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("minimal config rejected: %v", err)
+	}
+	cfg = Config{
+		Slaves: 2,
+		Speed:  []float64{0, 1.5}, // 0 = default baseline, allowed
+		Load: []LoadProfile{
+			nil,
+			Steps{{At: 0, Tasks: 1}, {At: time.Second, Tasks: 0}},
+		},
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsNoSlaves(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		cfg := Config{Slaves: n}
+		if err := cfg.Validate(); !errors.Is(err, ErrNoSlaves) {
+			t.Errorf("Slaves=%d: got %v, want ErrNoSlaves", n, err)
+		}
+	}
+}
+
+func TestValidateRejectsNegativeSpeed(t *testing.T) {
+	cfg := Config{Slaves: 2, Speed: []float64{1, -0.5}}
+	if err := cfg.Validate(); !errors.Is(err, ErrBadSpeed) {
+		t.Fatalf("got %v, want ErrBadSpeed", err)
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	cases := []struct {
+		name string
+		p    LoadProfile
+	}{
+		{"negative constant", Constant(-1)},
+		{"negative square wave", SquareWave{Period: -time.Second, OnDuration: time.Second, Tasks: 1}},
+		{"square wave negative tasks", SquareWave{Period: time.Second, OnDuration: time.Second / 2, Tasks: -2}},
+		{"unsorted steps", Steps{{At: time.Second, Tasks: 1}, {At: 0, Tasks: 2}}},
+		{"duplicate step times", Steps{{At: time.Second, Tasks: 1}, {At: time.Second, Tasks: 2}}},
+		{"steps negative tasks", Steps{{At: 0, Tasks: -1}}},
+	}
+	for _, tc := range cases {
+		if err := ValidateProfile(tc.p); !errors.Is(err, ErrBadProfile) {
+			t.Errorf("%s: got %v, want ErrBadProfile", tc.name, err)
+		}
+		cfg := Config{Slaves: 1, Load: []LoadProfile{tc.p}}
+		if err := cfg.Validate(); !errors.Is(err, ErrBadProfile) {
+			t.Errorf("%s via Config: got %v, want ErrBadProfile", tc.name, err)
+		}
+	}
+}
+
+func TestValidateAllowsCustomProfiles(t *testing.T) {
+	if err := ValidateProfile(NoLoad{}); err != nil {
+		t.Fatalf("NoLoad rejected: %v", err)
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+// Exported entry points into the apportionment and restricted-movement
+// machinery for callers that compose their own target allocations — the
+// hierarchical topology in internal/dlb builds per-group targets (each
+// group's slice apportioned from its own rates, group totals adjusted by
+// the diffusive inter-group flows) and needs the same largest-remainder
+// rounding and prefix-boundary move generation the Balancer uses, over
+// the same Ownership map, so intra-group rebalancing and cross-boundary
+// shifts come out of one consistent move schedule.
+
+// Apportion computes integer target counts proportional to rates,
+// summing to total, by the largest-remainder method (ties to the lower
+// index). Non-positive rates get no work unless every rate is
+// non-positive, in which case the split is even.
+func Apportion(total int, rates []float64) []int {
+	return apportion(total, rates)
+}
+
+// ApportionAlive is Apportion restricted to the slots marked alive; dead
+// slots get zero. A nil mask means every slot is alive.
+func ApportionAlive(total int, rates []float64, alive []bool) []int {
+	return apportionAlive(total, rates, alive)
+}
+
+// MovesRestricted computes the adjacent-only, block-preserving moves
+// that turn the current distribution of active units into one matching
+// targetCounts (which must sum to the active total). Moves are emitted
+// in an order slaves can execute directly: leftward flows right-to-left
+// first, then rightward flows left-to-right. The ownership map is not
+// modified; the caller applies the moves.
+func MovesRestricted(o *Ownership, targetCounts []int) []Move {
+	return movesRestricted(o, targetCounts)
+}
+
+// MovesRestrictedAlive is MovesRestricted over the alive slots only:
+// dead slots must have zero targets and the adjacency chain skips them.
+// A nil mask is equivalent to MovesRestricted.
+func MovesRestrictedAlive(o *Ownership, targetCounts []int, alive []bool) []Move {
+	return movesRestrictedAlive(o, targetCounts, alive)
+}
+
+// MovesUnrestricted computes arbitrary-endpoint moves turning the current
+// active distribution into targetCounts: surplus slaves give up their
+// highest-numbered active units first. Dead-slot safe as is (a dead slot
+// has zero owned units and a zero target). The ownership map is not
+// modified.
+func MovesUnrestricted(o *Ownership, targetCounts []int) []Move {
+	return movesUnrestricted(o, targetCounts)
+}
+
+// CompletionTime is the projected time for the slowest slot to finish
+// its allocation at the given rates: max over slots of counts/rate, +Inf
+// when a slot has work but no measured rate.
+func CompletionTime(counts []int, rates []float64) float64 {
+	return completionTime(counts, rates)
+}

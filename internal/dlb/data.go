@@ -49,6 +49,27 @@ type InstrMsg struct {
 	CkptSeq int
 }
 
+// GroupStatusMsg aggregates one group's per-member status reports (tag
+// "gstatus") or termination announcements (tag "gdone"), assembled by the
+// group leader so the master receives one message per group instead of
+// one per slave. Ids and Statuses are aligned, member order ascending,
+// leader first.
+type GroupStatusMsg struct {
+	Group    int
+	Ids      []int
+	Statuses []StatusMsg
+}
+
+// GroupShiftMsg is the master's grouped reply (tag "ginstr"): the round's
+// instruction, which the receiving leader relays to its members before
+// applying it itself. The embedded instruction already carries both the
+// intra-group rebalancing moves and the diffusive cross-boundary shifts —
+// a shift is an ordinary adjacent move whose endpoints straddle a group
+// boundary.
+type GroupShiftMsg struct {
+	Instr InstrMsg
+}
+
 // WorkMsg carries moved work units' data plus the ghost slices adjacent to
 // the moved range (§4.5: moved iterations must arrive in a consistent
 // state; shipping the sender's ghost data achieves that).

@@ -25,6 +25,7 @@ import (
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/hier"
 	"repro/internal/loopir"
 	"repro/internal/metrics"
 	"repro/internal/vtime"
@@ -65,6 +66,26 @@ type Config struct {
 	ForcedGrain int
 	// CompileOpts carries the hook cost model for instantiation.
 	CompileOpts compile.Options
+	// Groups partitions the slaves into that many contiguous groups for
+	// two-level hierarchical balancing (internal/hier): each group's
+	// leader aggregates its members' reports, the balancer runs within
+	// each group every period, and groups exchange whole block ranges
+	// diffusively on a slower cadence. 0 or 1 keeps the flat centralized
+	// master, bit-identical to earlier releases.
+	Groups int
+	// GroupExchangeEvery is the inter-group exchange cadence in decision
+	// rounds (default 4): between exchanges groups balance independently.
+	GroupExchangeEvery int
+	// GroupDiffusion is the diffusive under-relaxation factor alpha in
+	// (0, 1] (default 0.5): the fraction of the completion-time-equalizing
+	// flow shifted per exchange.
+	GroupDiffusion float64
+	// PerReportCost is the master's (or a leader's) CPU cost to process
+	// one status report, on top of MasterDecisionCost per round. The
+	// default 0 keeps earlier schedules bit-identical; the scale
+	// experiment sets it to make the O(slaves) centralized fan-in cost
+	// visible.
+	PerReportCost time.Duration
 	// Cores sets the per-slave worker count for partition-safe owned
 	// loops: 0 or 1 runs sequentially (the default — simulated schedules
 	// stay bit-identical to earlier releases), -1 uses every hardware
@@ -116,6 +137,12 @@ func (c Config) withDefaults() Config {
 	if c.MinImprovement == 0 {
 		c.MinImprovement = 0.10
 	}
+	if c.GroupExchangeEvery <= 0 {
+		c.GroupExchangeEvery = 4
+	}
+	if c.GroupDiffusion <= 0 || c.GroupDiffusion > 1 {
+		c.GroupDiffusion = 0.5
+	}
 	return c
 }
 
@@ -155,6 +182,9 @@ type Result struct {
 	ComputeElapsed time.Duration
 	// Usage is each slave's accounting over the whole run.
 	Usage []cluster.Usage
+	// MasterUsage is the master process's accounting — per-round busy time
+	// here is the centralized coordination cost the hierarchy attacks.
+	MasterUsage cluster.Usage
 	// Final holds the gathered arrays.
 	Final map[string]*loopir.Array
 	// Exec is the instantiated plan that was executed.
@@ -201,6 +231,9 @@ func Run(cfg Config, cc cluster.Config) (*Result, error) {
 	if cfg.Preempt != nil || cfg.Resume != nil {
 		return nil, fmt.Errorf("dlb: preemption and resume are transport-driven features (RunMasterOn)")
 	}
+	if err := cc.Validate(); err != nil {
+		return nil, err
+	}
 	ft := cfg.Fault != nil
 	if ft {
 		if !cfg.DLB {
@@ -209,6 +242,17 @@ func Run(cfg Config, cc cluster.Config) (*Result, error) {
 		if err := cfg.Fault.Validate(); err != nil {
 			return nil, err
 		}
+	}
+	var part *hier.Partition
+	if cfg.Groups > 1 {
+		if !cfg.DLB {
+			return nil, fmt.Errorf("dlb: hierarchical groups require DLB (leaders aggregate the balancing contacts)")
+		}
+		p, err := hier.Split(slaves, cfg.Groups)
+		if err != nil {
+			return nil, err
+		}
+		part = p
 	}
 
 	// Master instance: initial data source and final destination.
@@ -282,6 +326,8 @@ func Run(cfg Config, cc cluster.Config) (*Result, error) {
 		inst:    masterInst,
 		res:     r,
 		pol:     pol,
+		part:    part,
+		relay:   part != nil && !ft,
 	}
 	c.Spawn("master", cluster.MasterID, func(p *vtime.Proc, n *cluster.Node) {
 		eng.runOn(&simEndpoint{p: p, n: n})
@@ -295,6 +341,9 @@ func Run(cfg Config, cc cluster.Config) (*Result, error) {
 			grain:   grain,
 			fault:   slaveFaultFor(ft),
 			hbEvery: hbEvery,
+		}
+		if eng.relay {
+			s.part = part
 		}
 		if i >= slaves {
 			s.joiner = true
@@ -323,6 +372,9 @@ func Run(cfg Config, cc cluster.Config) (*Result, error) {
 		n.FinishAt(k.Now())
 		r.Usage = append(r.Usage, n.Usage())
 	}
+	mn := c.Node(cluster.MasterID)
+	mn.FinishAt(k.Now())
+	r.MasterUsage = mn.Usage()
 	if eng.err != nil {
 		return nil, eng.err
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/hier"
 	"repro/internal/loopir"
 )
 
@@ -119,6 +120,18 @@ func RunMasterOn(ep Endpoint, cfg Config, cc cluster.Config, initial, total int,
 	if err != nil {
 		return nil, err
 	}
+	// Grouped transport runs are decisions-only: the two-level balancing
+	// and exchange-aligned checkpoint cuts apply, but reports keep flowing
+	// directly to the master — the heartbeat-lease detector must observe
+	// every slave itself, so leaders never sit on the failure path.
+	var part *hier.Partition
+	if cfg.Groups > 1 {
+		p, perr := hier.Split(initial, cfg.Groups)
+		if perr != nil {
+			return nil, perr
+		}
+		part = p
+	}
 	flog := &fault.Log{}
 	r := &Result{Exec: pre.Exec, Grain: pre.Grain, FaultLog: flog}
 	eng := &engine{
@@ -130,6 +143,7 @@ func RunMasterOn(ep Endpoint, cfg Config, cc cluster.Config, initial, total int,
 		inst:    masterInst,
 		res:     r,
 		pol:     &ftPolicy{log: flog, resume: cfg.Resume},
+		part:    part,
 	}
 	start := ep.Now()
 	defer func() {

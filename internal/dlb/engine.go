@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/compile"
 	"repro/internal/core"
+	"repro/internal/hier"
 	"repro/internal/loopir"
 	"repro/internal/metrics"
 )
@@ -35,6 +36,13 @@ type engine struct {
 	bal   *core.Balancer
 	setup balancerSetup
 
+	// topo is the decision layer (flat master or two-level hierarchy);
+	// part is non-nil when the run is grouped, and relay routes the
+	// physical status/instruction traffic through the group leaders.
+	topo  topology
+	part  *hier.Partition
+	relay bool
+
 	done      []bool
 	doneCount int
 
@@ -62,6 +70,11 @@ func (e *engine) runOn(ep Endpoint) {
 	e.own = own
 	e.setup = newBalancerSetup(e.cfg, e.cc, e.exec, e.inst, e.initial)
 	e.bal = e.setup.newBalancer(own)
+	if e.part != nil && e.part.Groups() > 1 {
+		e.topo = newHierTopology(e, e.part, e.relay)
+	} else {
+		e.topo = flatTopology{}
+	}
 	e.done = make([]bool, e.total)
 	e.pol.Init(e)
 
@@ -168,7 +181,7 @@ func (e *engine) handleRound(raw map[int]StatusMsg) {
 	e.res.Counters.Add("status_reports", int64(len(raw)))
 	e.pol.RoundObserved(e)
 
-	e.ep.Charge(e.cfg.MasterDecisionCost)
+	e.ep.Charge(e.topo.roundCharge(e, len(raw)))
 
 	// Mirror the slave control flow: retire completed work (§4.7).
 	meta := e.exec.Phases[hookIdx]
@@ -180,73 +193,33 @@ func (e *engine) handleRound(raw map[int]StatusMsg) {
 
 	var d core.Decision
 	if e.cfg.DLB {
-		slots := e.own.Slaves()
-		counts := e.own.ActiveCounts()
-		statuses := make([]core.Status, slots)
-		var sumRate float64
-		var nRate int
-		for _, id := range ids {
-			st := raw[id]
-			rate := 0.0
-			if st.Busy > 0 && st.Units > 0 {
-				rate = st.Units / st.Busy.Seconds()
-				sumRate += rate
-				nRate++
-			}
-			statuses[id] = core.Status{Rate: rate, MoveCost: st.MoveCost, InteractionCost: st.InterCost}
-		}
-		// A slave with no work cannot measure its capability; assume the
-		// mean of the others so it can win work back. Dead slots keep rate
-		// zero — the balancer's alive mask excludes them anyway.
-		if nRate > 0 {
-			mean := sumRate / float64(nRate)
-			for _, id := range ids {
-				if statuses[id].Rate == 0 && counts[id] == 0 {
-					statuses[id].Rate = mean
-				}
-			}
-		}
-		unitsPerHook := float64(meta.UnitsBetween)
-		if next := hookIdx + 1; next < len(e.exec.Phases) {
-			unitsPerHook = float64(e.exec.Phases[next].UnitsBetween)
-		}
-		d = e.bal.Step(statuses, unitsPerHook)
-		e.pol.NoteRates(d.FilteredRates)
-		e.res.Moves += len(d.Moves)
-		e.res.Counters.Add("moves", int64(len(d.Moves)))
-		for _, mv := range d.Moves {
-			e.res.UnitsMoved += len(mv.Units)
-			e.res.Counters.Add("units_moved", int64(len(mv.Units)))
-		}
-		if e.cfg.CollectTrace {
-			now := e.ep.Now()
-			work := e.own.ActiveCounts()
-			for _, id := range ids {
-				e.res.Trace = append(e.res.Trace, Sample{
-					Time:      now,
-					Phase:     phase,
-					Slave:     id,
-					RawRate:   statuses[id].Rate,
-					Filtered:  d.FilteredRates[id],
-					Work:      work[id],
-					SkipHooks: d.SkipHooks,
-					Period:    d.Period,
-				})
-			}
-		}
+		d = e.topo.decide(e, raw, ids, phase, hookIdx)
 	}
 
-	ckptSeq := e.pol.CheckpointSeq(e, phase, ids)
+	ckptSeq := 0
+	if e.topo.ckptEligible() {
+		ckptSeq = e.pol.CheckpointSeq(e, phase, ids)
+	}
 
 	instr := InstrMsg{Phase: phase, HookIndex: hookIdx, Moves: d.Moves, SkipHooks: d.SkipHooks, Epoch: e.pol.Epoch(), CkptSeq: ckptSeq}
 	bytes := 64
 	for _, mv := range d.Moves {
 		bytes += 16 + 8*len(mv.Units)
 	}
-	for _, id := range ids {
-		e.ep.Send(id, "instr", bytes, instr)
+	if e.relay {
+		// Grouped fan-out: one GroupShiftMsg per leader; each leader
+		// relays the instruction to its members off the master's critical
+		// path.
+		for g := 0; g < e.part.Groups(); g++ {
+			e.ep.Send(e.part.Leader(g), "ginstr", bytes, GroupShiftMsg{Instr: instr})
+		}
+		e.res.Counters.Add("instr_bytes", int64(bytes)*int64(e.part.Groups()))
+	} else {
+		for _, id := range ids {
+			e.ep.Send(id, "instr", bytes, instr)
+		}
+		e.res.Counters.Add("instr_bytes", int64(bytes)*int64(len(ids)))
 	}
-	e.res.Counters.Add("instr_bytes", int64(bytes)*int64(len(ids)))
 	e.pol.RoundSent(e)
 }
 

@@ -63,6 +63,9 @@ func (noFaultPolicy) Init(*engine)    {}
 func (noFaultPolicy) Started(*engine) {}
 
 func (noFaultPolicy) CollectRound(e *engine) (map[int]StatusMsg, bool) {
+	if e.relay {
+		return collectGroupRound(e)
+	}
 	// One blocking receive per not-yet-done slave, in id order. Slaves
 	// announce termination with a "done" message when their (possibly data-
 	// dependent, §4.1) control flow finishes; since every slave follows the
@@ -89,6 +92,49 @@ func (noFaultPolicy) CollectRound(e *engine) (map[int]StatusMsg, bool) {
 			raw[i] = st
 		default:
 			panic(fmt.Sprintf("dlb: master: unexpected tag %q from slave %d", msg.Tag, i))
+		}
+	}
+	if len(raw) == 0 {
+		return nil, true
+	}
+	if newDone > 0 {
+		panic("dlb: slave schedules diverged (mixed status/done round)")
+	}
+	return raw, true
+}
+
+// collectGroupRound is the hierarchical round collection: one aggregate
+// receive per group leader (in group order) instead of one per slave, so
+// the master's fan-in is O(groups). The all-statuses-or-all-dones
+// invariant carries over unchanged — each leader's aggregate is itself
+// uniform because its members follow the identical schedule.
+func collectGroupRound(e *engine) (map[int]StatusMsg, bool) {
+	raw := map[int]StatusMsg{}
+	newDone := 0
+	for g := 0; g < e.part.Groups(); g++ {
+		leader := e.part.Leader(g)
+		if e.done[leader] {
+			continue
+		}
+		msg := e.ep.Recv(leader, "")
+		gs, ok := msg.Data.(GroupStatusMsg)
+		if !ok {
+			panic(fmt.Sprintf("dlb: master: unexpected %q message from leader %d", msg.Tag, leader))
+		}
+		switch msg.Tag {
+		case "gdone":
+			for i, id := range gs.Ids {
+				e.done[id] = true
+				e.doneCount++
+				e.noteDispatch(gs.Statuses[i])
+			}
+			newDone++
+		case "gstatus":
+			for i, id := range gs.Ids {
+				raw[id] = gs.Statuses[i]
+			}
+		default:
+			panic(fmt.Sprintf("dlb: master: unexpected tag %q from leader %d", msg.Tag, leader))
 		}
 	}
 	if len(raw) == 0 {

@@ -494,6 +494,7 @@ func (p *ftPolicy) recoverFrom(e *engine, newDead, admitIDs []int) {
 	// Fresh balancer: the rate-filter history predates the rollback.
 	e.bal = e.setup.newBalancerFor(own, slots)
 	e.bal.SetAlive(aliveMask)
+	e.topo.rebuild(e, slots, aliveMask)
 
 	for i := range e.done {
 		e.done[i] = false

@@ -9,6 +9,7 @@ import (
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/hier"
 	"repro/internal/loopir"
 )
 
@@ -76,6 +77,18 @@ func RunReal(cfg Config, slaves int) (*Result, error) {
 		return nil, err
 	}
 
+	var part *hier.Partition
+	if cfg.Groups > 1 {
+		if !cfg.DLB {
+			return nil, fmt.Errorf("dlb: hierarchical groups require DLB (leaders aggregate the balancing contacts)")
+		}
+		p, perr := hier.Split(slaves, cfg.Groups)
+		if perr != nil {
+			return nil, perr
+		}
+		part = p
+	}
+
 	ftMode := cfg.Fault != nil
 	var joins []time.Duration
 	total := slaves
@@ -125,6 +138,8 @@ func RunReal(cfg Config, slaves int) (*Result, error) {
 		inst:    masterInst,
 		res:     r,
 		pol:     pol,
+		part:    part,
+		relay:   part != nil && !ftMode,
 	}
 
 	errs := make(chan error, slaves+1)
@@ -167,6 +182,9 @@ func RunReal(cfg Config, slaves int) (*Result, error) {
 	for i := 0; i < total; i++ {
 		s := &slave{id: i, slaves: slaves, cfg: &cfg, exec: exec, grain: grain,
 			fault: slaveFaultFor(ftMode), hbEvery: hbEvery}
+		if eng.relay {
+			s.part = part
+		}
 		if ftMode && i >= slaves {
 			s.joiner = true
 			s.joinAt = joins[i-slaves]

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/compile"
 	"repro/internal/core"
+	"repro/internal/hier"
 	"repro/internal/loopir"
 )
 
@@ -52,6 +53,12 @@ type slave struct {
 	lastInter   time.Duration
 	blockLo     int
 	blockHi     int
+
+	// part routes master traffic through the group hierarchy when set
+	// (grouped legacy runs): members report to their group leader, the
+	// leader aggregates and talks to the master, and instructions relay
+	// back the same way. nil: every slave talks to the master directly.
+	part *hier.Partition
 
 	// fault is the slave-side fault-tolerance policy; noSlaveFault keeps
 	// legacy behavior identical (the state below stays at zero values).
@@ -626,7 +633,11 @@ func (s *slave) execHook(st *compile.Hook) {
 		InterCost: s.lastInter,
 		Epoch:     s.epoch,
 	}
-	s.ep.Send(cluster.MasterID, "status", 64, status)
+	if s.part != nil {
+		s.sendStatusHier(status)
+	} else {
+		s.ep.Send(cluster.MasterID, "status", 64, status)
+	}
 	s.unitsDone = 0
 
 	wantInstr := true
@@ -643,7 +654,12 @@ func (s *slave) execHook(st *compile.Hook) {
 		// CPU overhead of the exchange, not time spent blocked waiting for
 		// the instruction (pipelining exists precisely to hide that wait).
 		s.lastInter = s.ep.Busy() - busyStart
-		instr := s.fault.recvInstr(s)
+		var instr InstrMsg
+		if s.part != nil {
+			instr = s.recvInstrHier()
+		} else {
+			instr = s.fault.recvInstr(s)
+		}
 		s.applyInstr(instr)
 		ckptSeq = instr.CkptSeq
 	} else {
@@ -764,19 +780,107 @@ func (s *slave) peerAlive(o int) bool { return s.fault.peerAlive(s, o) }
 
 func (s *slave) designated() bool { return s.fault.designated(s) }
 
+// sendStatusHier routes the contact report through the hierarchy: a
+// member reports to its group leader; the leader collects its members'
+// reports in id order, charges the per-report processing cost that the
+// centralized master would otherwise pay for them, and ships one
+// aggregate to the master.
+func (s *slave) sendStatusHier(status StatusMsg) {
+	g := s.part.GroupOf(s.id)
+	if !s.part.IsLeader(s.id) {
+		s.ep.Send(s.part.Leader(g), "status", 64, status)
+		return
+	}
+	members := s.part.Members(g)
+	gs := GroupStatusMsg{
+		Group:    g,
+		Ids:      make([]int, 0, len(members)),
+		Statuses: make([]StatusMsg, 0, len(members)),
+	}
+	gs.Ids = append(gs.Ids, s.id)
+	gs.Statuses = append(gs.Statuses, status)
+	for _, m := range members {
+		if m == s.id {
+			continue
+		}
+		st := s.ep.Recv(m, "status").Data.(StatusMsg)
+		gs.Ids = append(gs.Ids, m)
+		gs.Statuses = append(gs.Statuses, st)
+	}
+	s.ep.Charge(time.Duration(len(members)) * s.cfg.PerReportCost)
+	s.ep.Send(cluster.MasterID, "gstatus", 64*len(members), gs)
+}
+
+// recvInstrHier receives the grouped instruction. The leader takes the
+// master's GroupShiftMsg and relays the instruction to its members BEFORE
+// applying it itself: applying may block on work transfers from members,
+// and the members are blocked waiting for this very instruction.
+func (s *slave) recvInstrHier() InstrMsg {
+	g := s.part.GroupOf(s.id)
+	if !s.part.IsLeader(s.id) {
+		return s.ep.Recv(s.part.Leader(g), "instr").Data.(InstrMsg)
+	}
+	instr := s.ep.Recv(cluster.MasterID, "ginstr").Data.(GroupShiftMsg).Instr
+	bytes := 64
+	for _, mv := range instr.Moves {
+		bytes += 16 + 8*len(mv.Units)
+	}
+	for _, m := range s.part.Members(g) {
+		if m == s.id {
+			continue
+		}
+		s.ep.Send(m, "instr", bytes, instr)
+	}
+	return instr
+}
+
+// sendDoneHier routes the termination announcement through the
+// hierarchy. Every slave follows the identical schedule, so when the
+// leader finishes its members finish in the same round; the leader
+// aggregates their announcements and the master receives one per group.
+func (s *slave) sendDoneHier(done StatusMsg) {
+	g := s.part.GroupOf(s.id)
+	if !s.part.IsLeader(s.id) {
+		s.ep.Send(s.part.Leader(g), "done", 64, done)
+		return
+	}
+	members := s.part.Members(g)
+	gs := GroupStatusMsg{
+		Group:    g,
+		Ids:      make([]int, 0, len(members)),
+		Statuses: make([]StatusMsg, 0, len(members)),
+	}
+	gs.Ids = append(gs.Ids, s.id)
+	gs.Statuses = append(gs.Statuses, done)
+	for _, m := range members {
+		if m == s.id {
+			continue
+		}
+		st := s.ep.Recv(m, "done").Data.(StatusMsg)
+		gs.Ids = append(gs.Ids, m)
+		gs.Statuses = append(gs.Statuses, st)
+	}
+	s.ep.Send(cluster.MasterID, "gdone", 64*len(members), gs)
+}
+
 // runTree executes the step tree once and announces termination: with
 // data-dependent break conditions the number of balancing phases is only
 // known here, at run time (§4.1).
 func (s *slave) runTree() {
 	s.execSteps(s.exec.Plan.Steps)
-	s.ep.Send(cluster.MasterID, "done", 64, StatusMsg{
+	done := StatusMsg{
 		Phase:         s.phase,
 		HookIndex:     s.hookVisit,
 		Done:          true,
 		Epoch:         s.epoch,
 		KernelUnits:   s.kernelUnits,
 		FallbackUnits: s.fallbackUnits,
-	})
+	}
+	if s.part != nil {
+		s.sendDoneHier(done)
+		return
+	}
+	s.ep.Send(cluster.MasterID, "done", 64, done)
 }
 
 // applyRecover installs a recovery epoch: restore the checkpointed arrays,

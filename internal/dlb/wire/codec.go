@@ -6,7 +6,9 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/dlb"
 )
 
@@ -49,6 +51,8 @@ const (
 	binCheckpoint
 	binAdopt
 	binFloats
+	binGroupStatus
+	binGroupShift
 )
 
 // errNoBinary reports a payload type the binary codec does not cover;
@@ -97,6 +101,12 @@ func putI64(b []byte, v int) []byte {
 func putString(b []byte, s string) []byte {
 	b = putU32(b, uint32(len(s)))
 	return append(b, s...)
+}
+
+func putF64(b []byte, v float64) []byte {
+	u := math.Float64bits(v)
+	return append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
 }
 
 // putFloats writes a length-prefixed bulk float64 run.
@@ -198,6 +208,37 @@ func putOwnedMap(b []byte, m map[string]map[int][]float64) []byte {
 	return b
 }
 
+// putStatus writes one StatusMsg (fixed-width scalars only).
+func putStatus(b []byte, s dlb.StatusMsg) []byte {
+	b = putI64(b, s.Phase)
+	b = putI64(b, s.HookIndex)
+	b = putF64(b, s.Units)
+	b = putI64(b, int(s.Busy))
+	b = putI64(b, int(s.MoveCost))
+	b = putI64(b, int(s.InterCost))
+	b = putBool(b, s.Done)
+	b = putI64(b, s.Epoch)
+	b = putI64(b, int(s.KernelUnits))
+	b = putI64(b, int(s.FallbackUnits))
+	return b
+}
+
+// putInstr writes one InstrMsg including its move list.
+func putInstr(b []byte, m dlb.InstrMsg) []byte {
+	b = putI64(b, m.Phase)
+	b = putI64(b, m.HookIndex)
+	b = putI64(b, m.SkipHooks)
+	b = putI64(b, m.Epoch)
+	b = putI64(b, m.CkptSeq)
+	b = putU32(b, uint32(len(m.Moves)))
+	for _, mv := range m.Moves {
+		b = putI64(b, mv.From)
+		b = putI64(b, mv.To)
+		b = putInts(b, mv.Units)
+	}
+	return b
+}
+
 // interned caches the small recurring strings of the protocol — array
 // names and message tags — so decoding doesn't allocate a fresh copy per
 // message. The cache is bounded: tags can carry per-epoch suffixes, and an
@@ -244,6 +285,10 @@ func appendBinaryEnvelope(b []byte, e Envelope) ([]byte, error) {
 		tag = binAdopt
 	case []float64:
 		tag = binFloats
+	case dlb.GroupStatusMsg:
+		tag = binGroupStatus
+	case dlb.GroupShiftMsg:
+		tag = binGroupShift
 	default:
 		return b, errNoBinary
 	}
@@ -312,6 +357,15 @@ func appendBinaryEnvelope(b []byte, e Envelope) ([]byte, error) {
 		b = putFloatsMap(b, p.RedSnap)
 	case []float64:
 		b = putFloats(b, p)
+	case dlb.GroupStatusMsg:
+		b = putI64(b, p.Group)
+		b = putInts(b, p.Ids)
+		b = putU32(b, uint32(len(p.Statuses)))
+		for _, s := range p.Statuses {
+			b = putStatus(b, s)
+		}
+	case dlb.GroupShiftMsg:
+		b = putInstr(b, p.Instr)
 	}
 	return b, nil
 }
@@ -362,6 +416,15 @@ func (r *binReader) i64() (int, error) {
 	v := int64(binary.LittleEndian.Uint64(r.b[r.off:]))
 	r.off += 8
 	return int(v), nil
+}
+
+func (r *binReader) f64() (float64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, corruptErr("truncated f64")
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v, nil
 }
 
 // count reads a u32 length prefix and sanity-checks it against the bytes
@@ -517,6 +580,60 @@ func (r *binReader) ownedMap() (map[string]map[int][]float64, error) {
 			return nil, err
 		}
 		m[k] = v
+	}
+	return m, nil
+}
+
+// statusSize is the fixed encoded size of one StatusMsg (9 scalars + bool).
+const statusSize = 9*8 + 1
+
+func (r *binReader) status() (dlb.StatusMsg, error) {
+	var s dlb.StatusMsg
+	if r.off+statusSize > len(r.b) {
+		return s, corruptErr("truncated status")
+	}
+	s.Phase, _ = r.i64()
+	s.HookIndex, _ = r.i64()
+	s.Units, _ = r.f64()
+	busy, _ := r.i64()
+	mc, _ := r.i64()
+	ic, _ := r.i64()
+	s.Busy, s.MoveCost, s.InterCost = time.Duration(busy), time.Duration(mc), time.Duration(ic)
+	s.Done, _ = r.boolv()
+	s.Epoch, _ = r.i64()
+	ku, _ := r.i64()
+	fu, _ := r.i64()
+	s.KernelUnits, s.FallbackUnits = int64(ku), int64(fu)
+	return s, nil
+}
+
+func (r *binReader) instr() (dlb.InstrMsg, error) {
+	var m dlb.InstrMsg
+	var err error
+	ints := []*int{&m.Phase, &m.HookIndex, &m.SkipHooks, &m.Epoch, &m.CkptSeq}
+	for _, dst := range ints {
+		if *dst, err = r.i64(); err != nil {
+			return m, err
+		}
+	}
+	n, err := r.count(20) // from + to + units prefix
+	if err != nil {
+		return m, err
+	}
+	if n == 0 {
+		return m, nil
+	}
+	m.Moves = make([]core.Move, n)
+	for i := range m.Moves {
+		if m.Moves[i].From, err = r.i64(); err != nil {
+			return m, err
+		}
+		if m.Moves[i].To, err = r.i64(); err != nil {
+			return m, err
+		}
+		if m.Moves[i].Units, err = r.ints(); err != nil {
+			return m, err
+		}
 	}
 	return m, nil
 }
@@ -685,6 +802,33 @@ func decodeBinaryEnvelope(payload []byte) (Envelope, error) {
 			return Envelope{}, err
 		}
 		e.Payload = vals
+	case binGroupStatus:
+		var p dlb.GroupStatusMsg
+		if p.Group, err = r.i64(); err != nil {
+			return Envelope{}, err
+		}
+		if p.Ids, err = r.ints(); err != nil {
+			return Envelope{}, err
+		}
+		n, err := r.count(statusSize)
+		if err != nil {
+			return Envelope{}, err
+		}
+		if n > 0 {
+			p.Statuses = make([]dlb.StatusMsg, n)
+			for i := range p.Statuses {
+				if p.Statuses[i], err = r.status(); err != nil {
+					return Envelope{}, err
+				}
+			}
+		}
+		e.Payload = p
+	case binGroupShift:
+		var p dlb.GroupShiftMsg
+		if p.Instr, err = r.instr(); err != nil {
+			return Envelope{}, err
+		}
+		e.Payload = p
 	default:
 		return Envelope{}, corruptErr(fmt.Sprintf("unknown message type %d", typ))
 	}

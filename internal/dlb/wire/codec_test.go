@@ -6,7 +6,9 @@ import (
 	"io"
 	"reflect"
 	"testing"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/dlb"
 )
 
@@ -55,6 +57,26 @@ func bulkMessages() []Envelope {
 			RedSnap:    map[string][]float64{"res": {0.25}},
 		}},
 		{Tag: "reduce:r", From: 2, Payload: []float64{1, -2, 3.75, 1e-300}},
+		{Tag: "gstatus", From: 4, Payload: dlb.GroupStatusMsg{
+			Group: 1,
+			Ids:   []int{4, 5, 6, 7},
+			Statuses: []dlb.StatusMsg{
+				{Phase: 3, HookIndex: 40, Units: 12.5, Busy: 250 * time.Millisecond,
+					MoveCost: time.Millisecond, InterCost: 300 * time.Microsecond, Epoch: 1},
+				{Phase: 3, HookIndex: 40, Units: 11},
+				{Phase: 3, HookIndex: 40, Done: true, KernelUnits: 96, FallbackUnits: 4},
+				{Phase: 3, HookIndex: 40, Units: 9.25, Busy: 260 * time.Millisecond},
+			},
+		}},
+		{Tag: "gdone", From: 0, Payload: dlb.GroupStatusMsg{Group: 0, Ids: []int{0}, Statuses: []dlb.StatusMsg{{Done: true}}}},
+		{Tag: "ginstr", From: -1, Payload: dlb.GroupShiftMsg{Instr: dlb.InstrMsg{
+			Phase: 3, HookIndex: 40, SkipHooks: 12, Epoch: 1, CkptSeq: 2,
+			Moves: []core.Move{
+				{From: 3, To: 4, Units: []int{30, 31, 32}},
+				{From: 5, To: 6, Units: []int{47}},
+			},
+		}}},
+		{Tag: "ginstr-empty", From: -1, Payload: dlb.GroupShiftMsg{}},
 	}
 }
 
@@ -199,6 +221,27 @@ func TestBinaryDecodeCorrupt(t *testing.T) {
 			mut := append([]byte(nil), b...)
 			mut[i] ^= 0xff
 			decodeBinaryEnvelope(mut) // must not panic; errors are fine
+		}
+	}
+}
+
+// TestGroupMessageFrameLimit pins the frame-limit error path for the group
+// aggregates on both codecs: a GroupStatusMsg exceeding the connection's
+// max frame fails with a typed *FrameLimitError, not corruption.
+func TestGroupMessageFrameLimit(t *testing.T) {
+	big := dlb.GroupStatusMsg{Group: 0, Ids: make([]int, 512), Statuses: make([]dlb.StatusMsg, 512)}
+	for _, bin := range []bool{false, true} {
+		var buf bytes.Buffer
+		c := NewConn(&buf)
+		c.SetBinary(bin)
+		c.SetMaxFrame(256)
+		err := c.Send(Envelope{Tag: "gstatus", From: 0, Payload: big})
+		var fe *FrameLimitError
+		if !errors.As(err, &fe) {
+			t.Fatalf("binary=%v: oversized group frame: got %v, want *FrameLimitError", bin, err)
+		}
+		if fe.Limit != 256 || fe.Size <= 256 {
+			t.Errorf("binary=%v: error reports size %d limit %d", bin, fe.Size, fe.Limit)
 		}
 	}
 }

@@ -37,6 +37,14 @@ type RunSpec struct {
 	// Cores is the per-slave kernel worker count (dlb.Config.Cores);
 	// daemons may override it locally with their own -cores setting.
 	Cores int
+	// Groups, GroupExchangeEvery and GroupDiffusion select hierarchical
+	// two-level balancing (dlb.Config fields of the same names; zero values
+	// mean flat). Transport runs use the hierarchy decisions-only — reports
+	// still flow directly to the master — but the spec ships the knobs so
+	// daemons can enforce admission policy and log the group layout.
+	Groups             int
+	GroupExchangeEvery int
+	GroupDiffusion     float64
 	// HeartbeatEvery is the slave's sign-of-life interval.
 	HeartbeatEvery time.Duration
 	// FaultSpec is an optional fault.ParseSpec schedule injected on the
@@ -144,6 +152,9 @@ const (
 	// It is the retryable rejection: a scheduler re-leasing a slave whose
 	// previous session is still tearing down backs off and redials.
 	RejectBusy = "busy"
+	// RejectGroups refuses a run whose shipped group count exceeds the
+	// daemon's admission cap (its -groups setting).
+	RejectGroups = "groups-cap-exceeded"
 )
 
 // Control-frame tags. They live in the same Envelope namespace as data

@@ -58,6 +58,8 @@ func init() {
 	gob.Register(dlb.SliceMsg{})
 	gob.Register(dlb.InitMsg{})
 	gob.Register(dlb.GatherMsg{})
+	gob.Register(dlb.GroupStatusMsg{})
+	gob.Register(dlb.GroupShiftMsg{})
 	gob.Register(core.Move{})
 	// Fault-tolerance protocol (heartbeat/eviction/checkpoint/recovery/join).
 	gob.Register(dlb.HeartbeatMsg{})

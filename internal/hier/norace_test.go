@@ -1,0 +1,5 @@
+//go:build !race
+
+package hier
+
+const raceDetector = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package hier
+
+// raceDetector reports whether the race detector is compiled in; soak
+// tests scale their iteration budgets down to absorb its slowdown.
+const raceDetector = true

@@ -12,6 +12,7 @@ import (
 	"repro/internal/dlb"
 	"repro/internal/dlb/wire"
 	"repro/internal/fault"
+	"repro/internal/hier"
 )
 
 // MasterOptions configures a distributed master.
@@ -150,6 +151,21 @@ func RunMaster(cfg dlb.Config, slaveAddrs []string, opt MasterOptions) (*dlb.Res
 	// work).
 	for i := 0; i < n; i++ {
 		m.rt.send(i, wire.TagRoster, wire.RosterMsg{Addrs: roster, Codecs: codecs})
+	}
+
+	// Hierarchical runs elect group leaders by roster rank — the lowest
+	// node id of each contiguous group — so every participant derives the
+	// same leadership from the same roster without extra coordination.
+	if cfg.Groups > 1 {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		leaders, lerr := hier.RosterLeaders(ids, cfg.Groups)
+		if lerr != nil {
+			return nil, fmt.Errorf("netrun: group layout: %w", lerr)
+		}
+		m.logf("hierarchical balancing: %d groups over %d slaves, leaders %v (by roster rank)", cfg.Groups, n, leaders)
 	}
 
 	m.acceptWG.Add(1)

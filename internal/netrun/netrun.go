@@ -54,6 +54,7 @@ var (
 	ErrDuplicateID      = errors.New("netrun: node id already connected")
 	ErrNoFreeSlots      = errors.New("netrun: no free joiner slots")
 	ErrBusy             = errors.New("netrun: daemon is busy with another run")
+	ErrGroupsCap        = errors.New("netrun: " + wire.RejectGroups)
 	ErrProtocol         = errors.New("netrun: protocol error")
 )
 
@@ -71,6 +72,8 @@ func rejectErr(r wire.RejectMsg) error {
 		base = ErrNoFreeSlots
 	case wire.RejectBusy:
 		base = ErrBusy
+	case wire.RejectGroups:
+		base = ErrGroupsCap
 	default:
 		base = ErrProtocol
 	}
@@ -169,11 +172,14 @@ func specFromConfig(cfg dlb.Config, grain int, hbEvery time.Duration) wire.RunSp
 		HookFraction:   cfg.CompileOpts.HookFraction,
 		HookCostFlops:  cfg.CompileOpts.HookCostFlops,
 		Grain:          grain,
-		DLB:            cfg.DLB,
-		Synchronous:    cfg.Synchronous,
-		Cores:          cfg.Cores,
-		HeartbeatEvery: hbEvery,
-		FaultSpec:      fault.FormatSpec(cfg.Fault),
+		DLB:                cfg.DLB,
+		Synchronous:        cfg.Synchronous,
+		Cores:              cfg.Cores,
+		Groups:             cfg.Groups,
+		GroupExchangeEvery: cfg.GroupExchangeEvery,
+		GroupDiffusion:     cfg.GroupDiffusion,
+		HeartbeatEvery:     hbEvery,
+		FaultSpec:          fault.FormatSpec(cfg.Fault),
 	}
 }
 
@@ -194,14 +200,17 @@ func configFromSpec(spec wire.RunSpec) (dlb.Config, error) {
 		return dlb.Config{}, fmt.Errorf("netrun: recompiling shipped program: %w", err)
 	}
 	cfg := dlb.Config{
-		Plan:        plan,
-		Params:      spec.Params,
-		DLB:         spec.DLB,
-		Synchronous: spec.Synchronous,
-		Cores:       spec.Cores,
-		ForcedGrain: spec.Grain,
-		CompileOpts: opts,
-		Detect:      fault.DetectorConfig{HeartbeatEvery: spec.HeartbeatEvery},
+		Plan:               plan,
+		Params:             spec.Params,
+		DLB:                spec.DLB,
+		Synchronous:        spec.Synchronous,
+		Cores:              spec.Cores,
+		Groups:             spec.Groups,
+		GroupExchangeEvery: spec.GroupExchangeEvery,
+		GroupDiffusion:     spec.GroupDiffusion,
+		ForcedGrain:        spec.Grain,
+		CompileOpts:        opts,
+		Detect:             fault.DetectorConfig{HeartbeatEvery: spec.HeartbeatEvery},
 	}
 	if spec.FaultSpec != "" {
 		fp, err := fault.ParseSpec(spec.FaultSpec)

@@ -1,13 +1,16 @@
 package netrun
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/compile"
 	"repro/internal/depend"
 	"repro/internal/dlb"
+	"repro/internal/dlb/wire"
 	"repro/internal/loopir"
 )
 
@@ -120,4 +123,66 @@ func TestLoopbackSOR(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkBitIdentical(t, res, seqReference(t, plan, params))
+}
+
+// TestLoopbackHierGroups runs a grouped (two-level) distributed run over
+// loopback daemons: the hierarchy is decisions-only on this transport, so
+// the result must stay bit-identical to the sequential reference and the
+// master should log the roster-rank leader election.
+func TestLoopbackHierGroups(t *testing.T) {
+	plan, params := testPlan(t, "mm", 48, 0)
+	addrs, _ := startServers(t, 4, ServerOptions{})
+	var logs []string
+	var mu sync.Mutex
+	cfg := dlb.Config{
+		Plan:        plan,
+		Params:      params,
+		DLB:         true,
+		Groups:      2,
+		RealQuantum: 2 * time.Millisecond,
+	}
+	res, err := RunMaster(cfg, addrs, MasterOptions{
+		Logf: func(format string, args ...interface{}) {
+			mu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBitIdentical(t, res, seqReference(t, plan, params))
+	mu.Lock()
+	defer mu.Unlock()
+	found := false
+	for _, l := range logs {
+		if strings.Contains(l, "leaders [0 2]") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no leader-election log line; got %q", logs)
+	}
+}
+
+// TestGroupsAdmissionCap checks the daemon-side admission policy: a run
+// shipping more groups than the daemon's MaxGroups is refused with the
+// typed rejection.
+func TestGroupsAdmissionCap(t *testing.T) {
+	plan, params := testPlan(t, "mm", 48, 0)
+	addrs, _ := startServers(t, 4, ServerOptions{MaxGroups: 2})
+	cfg := dlb.Config{
+		Plan:        plan,
+		Params:      params,
+		DLB:         true,
+		Groups:      4,
+		RealQuantum: 2 * time.Millisecond,
+	}
+	_, err := RunMaster(cfg, addrs, MasterOptions{})
+	if err == nil {
+		t.Fatal("run over the groups cap was admitted")
+	}
+	if !strings.Contains(err.Error(), wire.RejectGroups) {
+		t.Errorf("rejection lacks %q: %v", wire.RejectGroups, err)
+	}
 }

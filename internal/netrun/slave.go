@@ -32,8 +32,12 @@ type ServerOptions struct {
 	// daemon (0: use the shipped value; -1: all hardware cores). Per-node
 	// overrides are the point — a heterogeneous cluster advertises its
 	// actual width to the load balancer through its measured rate.
-	Cores    int
-	Timeouts Timeouts
+	Cores int
+	// MaxGroups caps the hierarchical group count this daemon admits: a
+	// run whose shipped Groups exceeds it is rejected at handshake
+	// (RejectGroups). 0 means unlimited.
+	MaxGroups int
+	Timeouts  Timeouts
 	// Codec selects the data-plane codec this daemon is willing to speak:
 	// wire.CodecBinary (the default, "") accepts a master's binary offer;
 	// wire.CodecGob pins this daemon to gob regardless of the offer —
@@ -253,6 +257,13 @@ func (s *Server) runSession(nc net.Conn, wc *wire.Conn, st wire.StartMsg, joiner
 		s.reject(wc, nc, wire.RejectMsg{
 			Code:   wire.RejectVersion,
 			Detail: fmt.Sprintf("daemon speaks version %d, master %d", ProtocolVersion, st.Version),
+		})
+		return
+	}
+	if s.opt.MaxGroups > 0 && st.Spec.Groups > s.opt.MaxGroups {
+		s.reject(wc, nc, wire.RejectMsg{
+			Code:   wire.RejectGroups,
+			Detail: fmt.Sprintf("run requests %d groups, daemon admits at most %d", st.Spec.Groups, s.opt.MaxGroups),
 		})
 		return
 	}

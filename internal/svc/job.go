@@ -71,6 +71,9 @@ type JobSpec struct {
 	Synchronous bool `json:"synchronous,omitempty"`
 	// Cores caps each slave's kernel worker goroutines (0: runtime default).
 	Cores int `json:"cores,omitempty"`
+	// Groups partitions the slaves for hierarchical two-level balancing
+	// (0 or 1: flat). The service may cap it (-groups on dlbsvc).
+	Groups int `json:"groups,omitempty"`
 }
 
 func (s *JobSpec) normalize() error {
@@ -88,6 +91,9 @@ func (s *JobSpec) normalize() error {
 	}
 	if s.Slaves <= 0 {
 		s.Slaves = 1
+	}
+	if s.Groups < 0 {
+		return fmt.Errorf("svc: negative group count %d", s.Groups)
 	}
 	return nil
 }

@@ -59,6 +59,9 @@ type Options struct {
 	// Ckpt is the checkpoint cadence; its MinInterval also bounds how
 	// stale a preemption snapshot can be (default MinInterval 300ms).
 	Ckpt fault.CkptPolicy
+	// MaxGroups caps the hierarchical group count a job may request
+	// (0: unlimited). Submissions beyond it are rejected at admission.
+	MaxGroups int
 	// Timeouts bounds each run's transport operations.
 	Timeouts netrun.Timeouts
 	// Logf receives service events (nil: silent).
@@ -130,6 +133,7 @@ func (s *Service) cfgFor(plan *compile.Plan, spec JobSpec) dlb.Config {
 		DLB:         true,
 		Synchronous: spec.Synchronous,
 		Cores:       spec.Cores,
+		Groups:      spec.Groups,
 		RealQuantum: s.opt.RealQuantum,
 		Fault:       &fault.Plan{},
 		Detect:      s.opt.Detect,
@@ -166,6 +170,12 @@ func (s *Service) Submit(spec JobSpec) (string, error) {
 	}
 	if spec.Slaves > s.pool.size() {
 		return "", fmt.Errorf("svc: job wants %d slaves, pool has %d", spec.Slaves, s.pool.size())
+	}
+	if spec.Groups > spec.Slaves {
+		return "", fmt.Errorf("svc: job wants %d groups over %d slaves", spec.Groups, spec.Slaves)
+	}
+	if s.opt.MaxGroups > 0 && spec.Groups > s.opt.MaxGroups {
+		return "", fmt.Errorf("svc: job wants %d groups, service admits at most %d", spec.Groups, s.opt.MaxGroups)
 	}
 	t := s.stats.tenant(spec.Tenant)
 	if s.queue.len() >= s.queue.max {

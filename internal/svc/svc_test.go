@@ -354,3 +354,30 @@ func TestFairnessOrdering(t *testing.T) {
 		t.Errorf("pick chose seq %d, want the tenant's earliest job", got.Seq)
 	}
 }
+
+// TestGroupsAdmissionAndRun covers the hierarchical-balancing knob at the
+// service layer: a group count exceeding the lease is rejected outright,
+// the -groups admission cap rejects before queueing, and a job that does
+// run hierarchically finishes bit-identical to the sequential reference.
+func TestGroupsAdmissionAndRun(t *testing.T) {
+	s := newTestService(t, 4, netrun.ServerOptions{}, Options{MaxGroups: 2})
+
+	spec := testSpec(t, "mm", 64, 0, 4)
+	spec.Groups = 8
+	if _, err := s.Submit(spec); err == nil {
+		t.Error("job wanting 8 groups over 4 slaves was admitted")
+	}
+	spec.Groups = 3
+	if _, err := s.Submit(spec); err == nil {
+		t.Error("job wanting 3 groups admitted past a MaxGroups=2 cap")
+	}
+
+	spec.Groups = 2
+	id, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, id, 30*time.Second, StateDone)
+	want := refSums(t, spec)
+	checkResultSums(t, s, id, want)
+}
