@@ -87,6 +87,7 @@ func main() {
 	flopCost := flag.Duration("flopcost", time.Microsecond, "virtual CPU time per flop (1µs ≈ Sun 4/330)")
 	real := flag.Bool("real", false, "run for real: wall-clock goroutines instead of the simulated cluster")
 	cores := flag.Int("cores", 0, "kernel worker goroutines per slave (0/1: sequential, -1: all hardware cores)")
+	kernel := flag.String("kernel", "", `execution tier for distributed-loop bodies: "interp", "kernel" (default) or "aot"`)
 	groups := flag.Int("groups", 0, "hierarchical balancing: partition slaves into this many leader-led groups (0/1: flat)")
 	groupEvery := flag.Int("group-every", 0, "inter-group diffusive exchange cadence in balancing rounds (0: default 4)")
 	groupAlpha := flag.Float64("group-alpha", 0, "diffusion under-relaxation factor in (0,1] (0: default 0.5)")
@@ -177,6 +178,7 @@ func main() {
 		Synchronous:        *sync,
 		FlopCost:           *flopCost,
 		Cores:              *cores,
+		Kernel:             *kernel,
 		Groups:             *groups,
 		GroupExchangeEvery: *groupEvery,
 		GroupDiffusion:     *groupAlpha,
@@ -213,6 +215,10 @@ func main() {
 	}
 	if err != nil {
 		fail(err)
+	}
+	if res.AotInfo != nil {
+		// One line per run so harnesses can assert the cache went warm.
+		fmt.Fprintf(os.Stderr, "dlbrun: %s\n", res.AotInfo)
 	}
 	seq, ref, err := dlb.SequentialTime(plan, params, *flopCost)
 	if err != nil {

@@ -1,0 +1,232 @@
+// Package aot closes the loop from compile.Plan to running native code:
+// it takes the Go kernel functions emitted by internal/loopir, assembles
+// them into a standalone package, builds that package with the Go
+// toolchain into a -buildmode=plugin shared object (with a subprocess
+// runner fallback where plugins are unavailable), and loads the result
+// behind a stable NativeKernel ABI so the dlb runtime can dispatch to it
+// exactly like a compiled kernel.
+//
+// Artifacts are cached on disk under os.UserCacheDir()/dlb-aot (override
+// with DLB_AOT_CACHE), keyed by a sha256 of the emitted source, the Go
+// version, GOARCH, the build mode and the race-detector state: repeat
+// jobs of the same program skip the toolchain entirely and start in
+// milliseconds. Concurrent builds of the same key are single-flighted
+// both in-process (a memo) and across processes (a lock file).
+package aot
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/loopir"
+)
+
+// Frame carries one native-kernel invocation: the distributed range
+// [Lo,Hi), free-variable values in the kernel's FreeVars order, and one
+// flat storage slice per array in the kernel's Arrays order.
+type Frame struct {
+	Lo, Hi int
+	Regs   []int
+	Data   [][]float64
+}
+
+// NativeKernel is the stable ABI a loaded kernel presents to the runtime.
+type NativeKernel func(f *Frame)
+
+// rawKernel is the builtin-typed signature emitted kernels export. Using
+// only builtin types lets the function value cross the plugin boundary
+// without named-type identity problems.
+type rawKernel = func(lo, hi int, regs []int, data [][]float64)
+
+// Region is one kernel-eligible region of a plan: the distributed loop
+// variable and the loop body.
+type Region struct {
+	DistVar string
+	Body    []loopir.Stmt
+}
+
+// Spec describes one AOT build request.
+type Spec struct {
+	// Prog and Params identify the program instance; array strides and
+	// parameter values are baked into the emitted source, so they are part
+	// of the cache key by construction.
+	Prog   *loopir.Program
+	Params map[string]int
+	// Regions are the kernel-eligible regions to emit, one kernel per
+	// region in order. A region whose body cannot be emitted (non-affine
+	// subscripts) yields a nil Kernel slot instead of failing the build.
+	Regions []Region
+	// WholeBody emits a single kernel from Prog.Body instead of Regions
+	// (benchmark use).
+	WholeBody bool
+	// CacheDir overrides the on-disk cache root (tests and benchmarks).
+	CacheDir string
+	// Mode forces "plugin" or "exec"; empty tries plugin first and falls
+	// back to the subprocess runner. The DLB_AOT_MODE environment variable
+	// overrides an empty Mode.
+	Mode string
+}
+
+// BuildInfo records how a Program came to be, for logs and benchmarks.
+type BuildInfo struct {
+	// Key is the full cache key (hex sha256).
+	Key string
+	// Mode is "plugin" or "exec".
+	Mode string
+	// Warm reports that an existing artifact was loaded without invoking
+	// the Go toolchain.
+	Warm bool
+	// Memo reports that the whole Program was served from the in-process
+	// memo (implies Warm).
+	Memo bool
+	// Dir is the cache directory holding source and artifact.
+	Dir string
+	// EmitDur, BuildDur and LoadDur split the build wall time: emission +
+	// hashing, toolchain invocation (zero when warm), artifact load.
+	EmitDur, BuildDur, LoadDur time.Duration
+	// Skipped lists region indices that could not be emitted and fell
+	// back to the VM tier.
+	Skipped []int
+}
+
+func (i BuildInfo) String() string {
+	return fmt.Sprintf("aot: key=%s mode=%s warm=%v emit=%s build=%s load=%s",
+		i.Key[:16], i.Mode, i.Warm,
+		i.EmitDur.Round(time.Microsecond), i.BuildDur.Round(time.Millisecond),
+		i.LoadDur.Round(time.Microsecond))
+}
+
+// Program is a built and loaded AOT artifact: one native kernel per
+// requested region (nil where emission was refused).
+type Program struct {
+	Kernels []*Kernel
+	Info    BuildInfo
+
+	runner *runnerProc // exec mode; nil in plugin mode
+}
+
+// Close releases the subprocess runner, if any. Plugin artifacts cannot
+// be unloaded; Close is a no-op for them. Programs served from the memo
+// share their runner — ClearMemory closes those.
+func (p *Program) Close() {
+	if p.runner != nil && !p.Info.Memo {
+		p.runner.close()
+	}
+}
+
+// Kernel is one loaded native kernel.
+type Kernel struct {
+	// Meta is the emitter's description: data/regs layout, written
+	// arrays, parallel-safety verdict.
+	Meta *loopir.EmittedKernel
+
+	idx        int
+	fn         rawKernel // plugin mode; nil in exec mode
+	prog       *Program
+	writeSlots []int // Meta.Writes resolved to data[] slots
+}
+
+// Call invokes the kernel on a frame — the NativeKernel ABI.
+func (k *Kernel) Call(f *Frame) {
+	if k.fn != nil {
+		k.fn(f.Lo, f.Hi, f.Regs, f.Data)
+		return
+	}
+	if err := k.prog.runner.call(k.idx, f, k.writeSlots); err != nil {
+		panic(fmt.Sprintf("aot: exec runner: %v", err))
+	}
+}
+
+// Native returns the kernel as a NativeKernel.
+func (k *Kernel) Native() NativeKernel { return k.Call }
+
+// CanParallel reports whether one call may be fanned across goroutines on
+// disjoint sub-ranges: the region must be proven partition-safe, must not
+// carry reduction chains (bit-identical chain replay is the VM's job),
+// and the kernel must be loaded in-process (the subprocess runner
+// serializes calls).
+func (k *Kernel) CanParallel() bool {
+	return k.fn != nil && k.Meta.ParallelSafe && !k.Meta.HasChains
+}
+
+// BoundKernel is a Kernel bound to a concrete instance's arrays, ready to
+// run with per-call free-variable bindings.
+type BoundKernel struct {
+	K    *Kernel
+	data [][]float64
+}
+
+// Bind resolves the kernel's data slots against an instance's arrays.
+func (k *Kernel) Bind(arrays map[string]*loopir.Array) (*BoundKernel, error) {
+	data := make([][]float64, len(k.Meta.Arrays))
+	for i, name := range k.Meta.Arrays {
+		a, ok := arrays[name]
+		if !ok {
+			return nil, fmt.Errorf("aot: kernel %s: no array %q in instance", k.Meta.Name, name)
+		}
+		data[i] = a.Data
+	}
+	return &BoundKernel{K: k, data: data}, nil
+}
+
+func (b *BoundKernel) regs(bind map[string]int) []int {
+	fv := b.K.Meta.FreeVars
+	if len(fv) == 0 {
+		return nil
+	}
+	regs := make([]int, len(fv))
+	for i, name := range fv {
+		regs[i] = bind[name]
+	}
+	return regs
+}
+
+// Run executes iterations [lo,hi) sequentially. An empty range is the
+// kernel's own business: emitted range loops bail out on hi <= lo exactly
+// like the VM, and whole-body kernels ignore lo/hi entirely.
+func (b *BoundKernel) Run(lo, hi int, bind map[string]int) {
+	b.K.Call(&Frame{Lo: lo, Hi: hi, Regs: b.regs(bind), Data: b.data})
+}
+
+// RunParallel executes [lo,hi) across up to workers goroutines using the
+// same sub-range split as RangeKernel.RunParallel, and returns the worker
+// count used. The caller is responsible for guard resolution (a
+// range-invariant read landing inside [lo,hi) must force workers=1, as
+// RangeKernel.Workers does); RunParallel itself only enforces
+// CanParallel and the range width.
+func (b *BoundKernel) RunParallel(lo, hi int, bind map[string]int, workers int) int {
+	w := workers
+	if w > hi-lo {
+		w = hi - lo
+	}
+	if w <= 1 || !b.K.CanParallel() {
+		b.Run(lo, hi, bind)
+		return 1
+	}
+	regs := b.regs(bind)
+	width := hi - lo
+	var wg sync.WaitGroup
+	var panicked sync.Map
+	for i := 0; i < w; i++ {
+		f := &Frame{
+			Lo:   lo + i*width/w,
+			Hi:   lo + (i+1)*width/w,
+			Regs: regs,
+			Data: b.data,
+		}
+		wg.Add(1)
+		go func(i int, f *Frame) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicked.Store(i, p)
+				}
+			}()
+			b.K.Call(f)
+		}(i, f)
+	}
+	wg.Wait()
+	panicked.Range(func(_, p interface{}) bool { panic(p) })
+	return w
+}

@@ -1,0 +1,315 @@
+package aot
+
+import (
+	"go/format"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/loopir"
+)
+
+// testParams binds every parameter of a library program to a small value.
+func testParams(p *loopir.Program, n int) map[string]int {
+	params := map[string]int{}
+	for _, prm := range p.Params {
+		params[prm] = n
+	}
+	if _, ok := params["maxiter"]; ok {
+		params["maxiter"] = 3
+	}
+	return params
+}
+
+func instance(t *testing.T, p *loopir.Program, params map[string]int) *loopir.Instance {
+	t.Helper()
+	in, err := loopir.NewInstance(p, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func sameArrays(t *testing.T, label string, want, got *loopir.Instance) {
+	t.Helper()
+	for name, w := range want.Arrays {
+		g := got.Arrays[name]
+		for i := range w.Data {
+			if math.Float64bits(w.Data[i]) != math.Float64bits(g.Data[i]) {
+				t.Fatalf("%s: array %q differs at %d: %v vs %v", label, name, i, w.Data[i], g.Data[i])
+			}
+		}
+	}
+}
+
+// TestWholeBodyDifferential builds every library program's whole body as
+// a native kernel and checks the result is bit-identical to both the
+// tree-walking interpreter and the postfix-VM kernel.
+func TestWholeBodyDifferential(t *testing.T) {
+	for name, p := range loopir.Library() {
+		p, params := p, testParams(p, 12)
+		t.Run(name, func(t *testing.T) {
+			ref := instance(t, p, params)
+			if err := ref.Interpret(); err != nil {
+				t.Fatal(err)
+			}
+			vm := instance(t, p, params)
+			if err := vm.RunKernel(); err != nil {
+				t.Fatal(err)
+			}
+			sameArrays(t, "interp vs kernel", ref, vm)
+
+			prog, err := Build(Spec{Prog: p, Params: params, WholeBody: true, Mode: ModePlugin})
+			if err != nil {
+				t.Fatal(err)
+			}
+			native := instance(t, p, params)
+			bk, err := prog.Kernels[0].Bind(native.Arrays)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bk.Run(0, 0, nil)
+			sameArrays(t, "interp vs aot", ref, native)
+		})
+	}
+}
+
+// TestExecRunnerDifferential exercises the subprocess-runner fallback on
+// one program: same bit-identity requirement, no plugin machinery.
+func TestExecRunnerDifferential(t *testing.T) {
+	p := loopir.Library()["jacobi"]
+	params := testParams(p, 10)
+	ref := instance(t, p, params)
+	if err := ref.Interpret(); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Build(Spec{Prog: p, Params: params, WholeBody: true, Mode: ModeExec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prog.Close()
+	if prog.Info.Mode != ModeExec {
+		t.Fatalf("mode = %q, want exec", prog.Info.Mode)
+	}
+	native := instance(t, p, params)
+	bk, err := prog.Kernels[0].Bind(native.Arrays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk.Run(0, 0, nil)
+	sameArrays(t, "interp vs exec-runner", ref, native)
+}
+
+// jacobiSweepRegion extracts the i-sweep of the jacobi program as a
+// distributed region (the shape compile.KernelRegions produces).
+func jacobiSweepRegion(t *testing.T, p *loopir.Program) Region {
+	t.Helper()
+	iter, ok := p.Body[0].(*loopir.Loop)
+	if !ok {
+		t.Fatalf("jacobi body[0] is %T", p.Body[0])
+	}
+	sweep, ok := iter.Body[0].(*loopir.Loop)
+	if !ok {
+		t.Fatalf("jacobi iter body[0] is %T", iter.Body[0])
+	}
+	return Region{DistVar: sweep.Var, Body: sweep.Body}
+}
+
+// TestRangeKernelParallel checks that a partition-safe region kernel run
+// natively across 1, 2 and 4 workers stays bit-identical to the VM's
+// sequential range kernel.
+func TestRangeKernelParallel(t *testing.T) {
+	p := loopir.Library()["jacobi"]
+	params := testParams(p, 24)
+	region := jacobiSweepRegion(t, p)
+
+	prog, err := Build(Spec{Prog: p, Params: params, Regions: []Region{region}, Mode: ModePlugin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := prog.Kernels[0]
+	if !k.Meta.ParallelSafe {
+		t.Fatalf("jacobi sweep not parallel-safe: %s", k.Meta.SeqReason)
+	}
+	if !k.CanParallel() {
+		t.Fatal("plugin-mode partition-safe kernel should allow parallel dispatch")
+	}
+
+	vm := instance(t, p, params)
+	rk, err := vm.CompileRangeKernel(region.DistVar, region.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := params["n"]
+	rk.Run(1, n-1, nil)
+
+	for _, w := range []int{1, 2, 4} {
+		native := instance(t, p, params)
+		bk, err := k.Bind(native.Arrays)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := bk.RunParallel(1, n-1, nil, w); got != w && w <= n-2 {
+			t.Fatalf("RunParallel used %d workers, want %d", got, w)
+		}
+		sameArrays(t, "vm vs aot parallel", vm, native)
+	}
+}
+
+// TestChainsStaySequential: a region whose writes flow through reduction
+// chains must refuse native parallel dispatch (bit-identical chain replay
+// is the VM's job).
+func TestChainsStaySequential(t *testing.T) {
+	p := loopir.Library()["jacobi-converge"]
+	params := testParams(p, 12)
+	// The copy-back sweep accumulates the residual through r[0] — a
+	// reduction chain; the relaxation sweep before it is partition-safe.
+	iter := p.Body[0].(*loopir.Loop)
+	var sweep *loopir.Loop
+	for _, s := range iter.Body {
+		if l, ok := s.(*loopir.Loop); ok {
+			sweep = l
+		}
+	}
+	if sweep == nil {
+		t.Fatal("no sweep loop in jacobi-converge")
+	}
+	in := instance(t, p, params)
+	ek, err := in.EmitRangeKernelGo(sweep.Var, sweep.Body, "Kernel0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ek.HasChains {
+		t.Fatalf("jacobi-converge sweep should carry a reduction chain (parallelSafe=%v seq=%q)",
+			ek.ParallelSafe, ek.SeqReason)
+	}
+	prog, err := Build(Spec{Prog: p, Params: params, Regions: []Region{{DistVar: sweep.Var, Body: sweep.Body}}, Mode: ModePlugin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Kernels[0].CanParallel() {
+		t.Fatal("chain-bearing kernel must not claim parallel dispatch")
+	}
+}
+
+// TestWarmStart measures the contractual cold/warm split: a second build
+// of the same spec must hit the cache (no toolchain run) and the on-disk
+// warm path — emit, hash, load — must come in under 50ms.
+func TestWarmStart(t *testing.T) {
+	p := loopir.Library()["sor"]
+	params := testParams(p, 16)
+	spec := Spec{Prog: p, Params: params, WholeBody: true, Mode: ModePlugin}
+
+	first, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := first.Info.Key
+
+	memoHit, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !memoHit.Info.Warm || !memoHit.Info.Memo {
+		t.Fatalf("second build not memo-warm: %+v", memoHit.Info)
+	}
+
+	ClearMemory()
+	start := time.Now()
+	diskWarm, err := Build(spec)
+	warmDur := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diskWarm.Info.Warm {
+		t.Fatalf("post-ClearMemory build not disk-warm: %+v", diskWarm.Info)
+	}
+	if diskWarm.Info.Key != key {
+		t.Fatalf("key changed across builds: %s vs %s", key, diskWarm.Info.Key)
+	}
+	if diskWarm.Info.BuildDur != 0 {
+		t.Fatalf("warm build invoked the toolchain: %+v", diskWarm.Info)
+	}
+	if warmDur > 50*time.Millisecond {
+		t.Fatalf("warm start took %s, want < 50ms", warmDur)
+	}
+}
+
+// TestCacheKeySensitivity: parameters are baked into emitted source, so
+// changing them must change the key; mode changes the key too.
+func TestCacheKeySensitivity(t *testing.T) {
+	p := loopir.Library()["mm"]
+	a, err := emitSpec(Spec{Prog: p, Params: map[string]int{"n": 8}, WholeBody: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := emitSpec(Spec{Prog: p, Params: map[string]int{"n": 9}, WholeBody: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cacheKey(a, ModePlugin) == cacheKey(b, ModePlugin) {
+		t.Fatal("different params produced the same cache key")
+	}
+	if cacheKey(a, ModePlugin) == cacheKey(a, ModeExec) {
+		t.Fatal("different modes produced the same cache key")
+	}
+}
+
+// TestEmittedSourceFormatted: every emitted source file of every library
+// program must already be gofmt-clean — generated code is readable Go,
+// not just compilable Go.
+func TestEmittedSourceFormatted(t *testing.T) {
+	for name, p := range loopir.Library() {
+		p := p
+		t.Run(name, func(t *testing.T) {
+			e, err := emitSpec(Spec{Prog: p, Params: testParams(p, 12), WholeBody: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for fname, content := range e.files {
+				if filepath.Ext(fname) != ".go" {
+					continue
+				}
+				formatted, err := format.Source([]byte(content))
+				if err != nil {
+					t.Fatalf("%s does not parse: %v", fname, err)
+				}
+				if string(formatted) != content {
+					t.Fatalf("%s is not gofmt-clean:\n--- emitted ---\n%s\n--- gofmt ---\n%s",
+						fname, content, formatted)
+				}
+			}
+		})
+	}
+}
+
+// TestEmittedSourceVets materializes each library program's emitted
+// package and runs go vet over it.
+func TestEmittedSourceVets(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("no go binary on PATH")
+	}
+	for name, p := range loopir.Library() {
+		p := p
+		t.Run(name, func(t *testing.T) {
+			e, err := emitSpec(Spec{Prog: p, Params: testParams(p, 12), WholeBody: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			if err := writeSource(dir, e.files); err != nil {
+				t.Fatal(err)
+			}
+			cmd := exec.Command(goBin, "vet", ".")
+			cmd.Dir = dir
+			cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=")
+			if out, err := cmd.CombinedOutput(); err != nil {
+				t.Fatalf("go vet: %v\n%s", err, out)
+			}
+		})
+	}
+}

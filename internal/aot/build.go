@@ -1,0 +1,414 @@
+package aot
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"plugin"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ModePlugin and ModeExec name the two load modes.
+const (
+	ModePlugin = "plugin"
+	ModeExec   = "exec"
+)
+
+// Build emits the spec's kernels, builds (or reuses) the native artifact
+// and loads it. Safe for concurrent callers: identical specs build once
+// per process (memo) and once per machine (cache directory + lock file).
+func Build(spec Spec) (*Program, error) {
+	emitStart := time.Now()
+	e, err := emitSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	modes, err := candidateModes(spec.Mode)
+	if err != nil {
+		return nil, err
+	}
+	var firstErr error
+	for _, mode := range modes {
+		p, err := buildMode(spec, e, mode, time.Since(emitStart))
+		if err == nil {
+			return p, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, firstErr
+}
+
+func candidateModes(mode string) ([]string, error) {
+	if mode == "" {
+		mode = os.Getenv("DLB_AOT_MODE")
+	}
+	switch mode {
+	case "":
+		return []string{ModePlugin, ModeExec}, nil
+	case ModePlugin, ModeExec:
+		return []string{mode}, nil
+	}
+	return nil, fmt.Errorf("aot: unknown mode %q (want %q or %q)", mode, ModePlugin, ModeExec)
+}
+
+// memo single-flights identical builds within the process and keeps
+// loaded programs alive (a plugin cannot be unloaded anyway).
+var (
+	memoMu sync.Mutex
+	memo   = map[string]*memoEntry{}
+)
+
+type memoEntry struct {
+	once sync.Once
+	prog *Program
+	err  error
+}
+
+// ClearMemory drops the in-process program memo, closing any subprocess
+// runners. Tests and benchmarks use it to measure the on-disk warm path.
+func ClearMemory() {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	for _, e := range memo {
+		if e.prog != nil && e.prog.runner != nil {
+			e.prog.runner.close()
+		}
+	}
+	memo = map[string]*memoEntry{}
+}
+
+func buildMode(spec Spec, e *emitted, mode string, emitDur time.Duration) (*Program, error) {
+	key := cacheKey(e, mode)
+
+	memoMu.Lock()
+	ent, hit := memo[key]
+	if !hit {
+		ent = &memoEntry{}
+		memo[key] = ent
+	}
+	memoMu.Unlock()
+
+	ent.once.Do(func() {
+		ent.prog, ent.err = buildAndLoad(spec, e, mode, key, emitDur)
+	})
+	if ent.err != nil {
+		return nil, ent.err
+	}
+	if hit {
+		// A memo hit is the warmest start there is: hand out a fresh
+		// handle so the caller's BuildInfo reflects it without mutating
+		// the shared program.
+		p := *ent.prog
+		p.Info.Warm, p.Info.Memo = true, true
+		p.Info.EmitDur, p.Info.BuildDur, p.Info.LoadDur = emitDur, 0, 0
+		return &p, nil
+	}
+	return ent.prog, nil
+}
+
+// cacheKey hashes everything that determines the artifact: emitted
+// source, Go version, GOARCH, load mode and the race-detector state of
+// the host (a race-enabled host can only load race-enabled plugins).
+func cacheKey(e *emitted, mode string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "go=%s arch=%s mode=%s race=%v\n", runtime.Version(), runtime.GOARCH, mode, raceEnabled)
+	names := make([]string, 0, len(e.files))
+	for name := range e.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(h, "-- %s --\n%s", name, e.files[name])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheRoot resolves the on-disk cache directory.
+func cacheRoot(override string) (string, error) {
+	if override != "" {
+		return override, nil
+	}
+	if dir := os.Getenv("DLB_AOT_CACHE"); dir != "" {
+		return dir, nil
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("aot: no user cache dir: %w", err)
+	}
+	return filepath.Join(base, "dlb-aot"), nil
+}
+
+func buildAndLoad(spec Spec, e *emitted, mode, key string, emitDur time.Duration) (*Program, error) {
+	root, err := cacheRoot(spec.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(root, key[:16])
+	artifact := filepath.Join(dir, "kernel.so")
+	if mode == ModeExec {
+		artifact = filepath.Join(dir, "kernel.bin")
+	}
+
+	info := BuildInfo{Key: key, Mode: mode, Dir: dir, EmitDur: emitDur, Skipped: e.skipped}
+
+	if _, err := os.Stat(artifact); err != nil {
+		// Cold: materialize source and run the toolchain under the
+		// cross-process lock; a racing process may have built it by the
+		// time the lock is held.
+		unlock, err := lockDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := os.Stat(artifact); err != nil {
+			buildStart := time.Now()
+			// The module path becomes the symbol prefix of package main and
+			// the plugin path — both must be unique per artifact or the
+			// runtime refuses to load two different emitted programs. The
+			// key is not known at emission time, so substitute it here.
+			files := make(map[string]string, len(e.files))
+			for name, content := range e.files {
+				files[name] = content
+			}
+			files["go.mod"] = fmt.Sprintf("module dlbaot/k%s\n\ngo 1.22\n", key[:16])
+			if err := writeSource(filepath.Join(dir, "src"), files); err != nil {
+				unlock()
+				return nil, err
+			}
+			if err := runToolchain(filepath.Join(dir, "src"), artifact, mode); err != nil {
+				unlock()
+				return nil, err
+			}
+			info.BuildDur = time.Since(buildStart)
+		} else {
+			info.Warm = true
+		}
+		unlock()
+	} else {
+		info.Warm = true
+	}
+
+	loadStart := time.Now()
+	p := &Program{Info: info}
+	var fns []rawKernel
+	if mode == ModePlugin {
+		fns, err = loadPlugin(artifact, len(e.kernels))
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		p.runner = &runnerProc{path: artifact}
+	}
+	for i, ek := range e.kernels {
+		if ek == nil {
+			p.Kernels = append(p.Kernels, nil)
+			continue
+		}
+		k := &Kernel{Meta: ek, idx: i, prog: p}
+		if fns != nil {
+			k.fn = fns[i]
+		}
+		for _, w := range ek.Writes {
+			for slot, arr := range ek.Arrays {
+				if arr == w {
+					k.writeSlots = append(k.writeSlots, slot)
+					break
+				}
+			}
+		}
+		p.Kernels = append(p.Kernels, k)
+	}
+	p.Info.LoadDur = time.Since(loadStart)
+	return p, nil
+}
+
+func writeSource(srcDir string, files map[string]string) error {
+	if err := os.MkdirAll(srcDir, 0o755); err != nil {
+		return err
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(srcDir, name), []byte(content), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runToolchain invokes go build. Plugins need cgo; plugin-path
+// uniqueness comes from the per-key module path written by buildAndLoad.
+func runToolchain(srcDir, artifact, mode string) error {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		goBin = filepath.Join(runtime.GOROOT(), "bin", "go")
+	}
+	args := []string{"build"}
+	if mode == ModePlugin {
+		args = append(args, "-buildmode=plugin")
+	}
+	if raceEnabled {
+		args = append(args, "-race")
+	}
+	tmp := artifact + ".tmp"
+	args = append(args, "-o", tmp, ".")
+	cmd := exec.Command(goBin, args...)
+	cmd.Dir = srcDir
+	cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=")
+	if mode == ModePlugin {
+		cmd.Env = append(cmd.Env, "CGO_ENABLED=1")
+	}
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("aot: %s %s build failed: %v\n%s", filepath.Base(goBin), mode, err, out)
+	}
+	return os.Rename(tmp, artifact)
+}
+
+// loadPlugin opens the shared object and resolves the kernel table.
+func loadPlugin(path string, want int) ([]rawKernel, error) {
+	pl, err := plugin.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("aot: open plugin: %w", err)
+	}
+	sym, err := pl.Lookup("Kernels")
+	if err != nil {
+		return nil, fmt.Errorf("aot: plugin has no Kernels table: %w", err)
+	}
+	tbl, ok := sym.(*[]rawKernel)
+	if !ok {
+		return nil, fmt.Errorf("aot: Kernels table has type %T", sym)
+	}
+	if len(*tbl) != want {
+		return nil, fmt.Errorf("aot: Kernels table has %d entries, want %d", len(*tbl), want)
+	}
+	return *tbl, nil
+}
+
+// lockDir acquires a best-effort cross-process build lock for a cache
+// directory via an O_EXCL lock file. A lock older than staleLockAge is
+// presumed abandoned (a killed builder) and broken.
+const staleLockAge = 5 * time.Minute
+
+func lockDir(dir string) (unlock func(), err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, ".lock")
+	for {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "%d\n", os.Getpid())
+			f.Close()
+			return func() { os.Remove(path) }, nil
+		}
+		if !os.IsExist(err) {
+			return nil, err
+		}
+		if st, serr := os.Stat(path); serr == nil && time.Since(st.ModTime()) > staleLockAge {
+			os.Remove(path)
+			continue
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// runnerProc is the host side of the subprocess runner: one persistent
+// child speaking gob over stdin/stdout, calls serialized by a mutex.
+type runnerProc struct {
+	path string
+
+	mu     sync.Mutex
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	closed bool
+}
+
+type runnerReq struct {
+	K      int
+	Lo, Hi int
+	Regs   []int
+	Data   [][]float64
+}
+
+type runnerResp struct {
+	Data [][]float64
+}
+
+func (r *runnerProc) start() error {
+	cmd := exec.Command(r.path)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	r.cmd = cmd
+	r.stdin = stdin
+	r.enc = gob.NewEncoder(stdin)
+	r.dec = gob.NewDecoder(stdout)
+	return nil
+}
+
+func (r *runnerProc) call(k int, f *Frame, writeSlots []int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("runner closed")
+	}
+	if r.cmd == nil {
+		if err := r.start(); err != nil {
+			return err
+		}
+	}
+	req := runnerReq{K: k, Lo: f.Lo, Hi: f.Hi, Regs: f.Regs, Data: f.Data}
+	if err := r.enc.Encode(req); err != nil {
+		return err
+	}
+	var resp runnerResp
+	if err := r.dec.Decode(&resp); err != nil {
+		return err
+	}
+	if len(resp.Data) != len(writeSlots) {
+		return fmt.Errorf("runner returned %d arrays, want %d", len(resp.Data), len(writeSlots))
+	}
+	for i, slot := range writeSlots {
+		copy(f.Data[slot], resp.Data[i])
+	}
+	return nil
+}
+
+func (r *runnerProc) close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	if r.cmd != nil {
+		r.stdin.Close()
+		done := make(chan struct{})
+		go func() { r.cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			r.cmd.Process.Kill()
+			<-done
+		}
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package aot
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package aot
+
+// raceEnabled mirrors the host binary's race-detector state: a
+// race-enabled host can only load plugins that were themselves built
+// with -race, so the flag is part of the build command and the cache key.
+const raceEnabled = true

@@ -216,21 +216,10 @@ func TestCompileRejectsOuterDistributedPipeline(t *testing.T) {
 	}
 }
 
-func TestRenderPlanShowsCommunication(t *testing.T) {
-	p := mustCompile(t, loopir.SOR(), Options{Dist: specSOR()})
-	for _, want := range []string{"exchange_ghost", "recv_pipeline", "send_pipeline", "lbhook", "strip mined", "restricted (block)"} {
-		if !strings.Contains(p.Source, want) {
-			t.Errorf("plan source missing %q:\n%s", want, p.Source)
-		}
-	}
-	p = mustCompile(t, loopir.LU(), Options{Dist: specLU()})
-	if !strings.Contains(p.Source, "broadcast_from_owner") {
-		t.Errorf("LU source missing broadcast:\n%s", p.Source)
-	}
-	if !strings.Contains(p.Source, "owner computes") {
-		t.Errorf("LU source missing owner-computes block:\n%s", p.Source)
-	}
-}
+// Plan renderings are pinned whole by TestRenderPlanGolden
+// (testdata/render_*.txt); the communication keywords formerly asserted
+// here — exchange_ghost, pipelines, lbhook, broadcast_from_owner,
+// owner computes — are covered by the goldens.
 
 func TestInstantiateMM(t *testing.T) {
 	p := mustCompile(t, loopir.MatMul(), Options{Dist: specMM()})
@@ -422,12 +411,8 @@ func TestCompileJacobiConvergeStructure(t *testing.T) {
 	if p.Props.LoopCarriedDeps {
 		t.Error("reduction misclassified as a loop-carried dependence")
 	}
-	if !strings.Contains(p.Source, "all_reduce") {
-		t.Error("source rendering missing all_reduce")
-	}
-	if !strings.Contains(p.Source, "break") {
-		t.Error("source rendering missing break")
-	}
+	// The all_reduce and break rendering is pinned by
+	// testdata/render_jacobi_converge.txt via TestRenderPlanGolden.
 }
 
 func TestCompileRejectsNonReductionReplicatedWrite(t *testing.T) {

@@ -219,3 +219,28 @@ func (e *Exec) String() string {
 	return fmt.Sprintf("exec %s: %d units, hook level %d, %d phases",
 		e.Plan.Prog.Name, e.Units, e.ActiveLevel, len(e.Phases))
 }
+
+// KernelRegions collects the plan's distributed loops in program order —
+// the kernel-eligible regions. Each OwnedLoop is a candidate for both the
+// VM range kernel and an AOT-compiled native kernel; the index of a loop
+// in this slice is its stable kernel index across tiers.
+func KernelRegions(p *Plan) []*OwnedLoop {
+	var out []*OwnedLoop
+	var walk func(steps []Step)
+	walk = func(steps []Step) {
+		for _, st := range steps {
+			switch st := st.(type) {
+			case *SeqLoop:
+				walk(st.Body)
+			case *StripLoop:
+				walk(st.Pre)
+				walk(st.Body)
+				walk(st.Post)
+			case *OwnedLoop:
+				out = append(out, st)
+			}
+		}
+	}
+	walk(p.Steps)
+	return out
+}

@@ -26,9 +26,10 @@ type StatusMsg struct {
 	// runs only); the master drops reports from earlier epochs.
 	Epoch int
 	// Dispatch accounting, reported with the termination announcement:
-	// how many owned units ran through compiled range kernels vs the
-	// lowered interpreter fallback (engine counters kernel_units /
-	// fallback_units).
+	// how many owned units ran through AOT-built native kernels, compiled
+	// range kernels, or the lowered interpreter fallback (engine counters
+	// aot_units / kernel_units / fallback_units).
+	AotUnits      int64
 	KernelUnits   int64
 	FallbackUnits int64
 }

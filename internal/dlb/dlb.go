@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/aot"
 	"repro/internal/cluster"
 	"repro/internal/compile"
 	"repro/internal/core"
@@ -91,6 +92,13 @@ type Config struct {
 	// stay bit-identical to earlier releases), -1 uses every hardware
 	// core, N > 1 uses exactly N workers.
 	Cores int
+	// Kernel selects the execution tier for distributed-loop bodies:
+	// "interp" runs the lowered interpreter fragments only, "kernel" (the
+	// default) adds the compiled postfix-VM range kernels, and "aot" emits
+	// real Go source, builds it with the toolchain into a cached native
+	// artifact, and dispatches to it — falling back tier by tier for
+	// regions the emitter refuses. All tiers are bit-identical.
+	Kernel string
 	// CollectTrace records per-phase rate/work samples (Figure 9).
 	CollectTrace bool
 	// RealQuantum is the grain-sizing target quantum for RunReal (default
@@ -144,6 +152,26 @@ func (c Config) withDefaults() Config {
 		c.GroupDiffusion = 0.5
 	}
 	return c
+}
+
+// Kernel execution tiers, ordered interp < kernel < aot.
+const (
+	KernelInterp = "interp"
+	KernelVM     = "kernel"
+	KernelAOT    = "aot"
+)
+
+// KernelTier resolves the Kernel knob ("" means the VM tier) or returns
+// an error naming the valid tiers.
+func (c Config) KernelTier() (string, error) {
+	switch c.Kernel {
+	case "", KernelVM:
+		return KernelVM, nil
+	case KernelInterp, KernelAOT:
+		return c.Kernel, nil
+	}
+	return "", fmt.Errorf("dlb: unknown kernel tier %q (want %q, %q or %q)",
+		c.Kernel, KernelInterp, KernelVM, KernelAOT)
 }
 
 // CoreCount resolves the Cores knob to an effective worker count.
@@ -214,6 +242,9 @@ type Result struct {
 	// Owner is the final unit-to-slave ownership map: the state of the
 	// replicated map when the run committed.
 	Owner []int
+	// AotInfo describes the native-kernel build when the run used the aot
+	// tier: cache key, warm/cold, emit/build/load durations.
+	AotInfo *aot.BuildInfo
 }
 
 // Run executes the plan on the given cluster configuration and returns the
@@ -292,6 +323,23 @@ func Run(cfg Config, cc cluster.Config) (*Result, error) {
 		return nil, err
 	}
 
+	// Native kernels are built before any cooperative process spawns: the
+	// Go toolchain subprocess must not run inside the virtual-time
+	// scheduler. The bundle is shared read-only by all slaves.
+	tier, err := cfg.KernelTier()
+	if err != nil {
+		return nil, err
+	}
+	var bundle *aotBundle
+	var aotInfo *aot.BuildInfo
+	if tier == KernelAOT {
+		bundle, err = buildAOT(cfg.Plan, cfg.Params)
+		if err != nil {
+			return nil, err
+		}
+		aotInfo = &bundle.prog.Info
+	}
+
 	k := vtime.NewKernel()
 	simCC := cc
 	var joins []time.Duration
@@ -305,7 +353,7 @@ func Run(cfg Config, cc cluster.Config) (*Result, error) {
 	}
 	c := cluster.New(k, simCC)
 
-	r := &Result{Exec: exec, Grain: grain}
+	r := &Result{Exec: exec, Grain: grain, AotInfo: aotInfo}
 	var pol FaultPolicy = noFaultPolicy{}
 	var inj *fault.Injector
 	var flog *fault.Log
@@ -339,6 +387,8 @@ func Run(cfg Config, cc cluster.Config) (*Result, error) {
 			cfg:     &cfg,
 			exec:    exec,
 			grain:   grain,
+			tier:    tier,
+			aot:     bundle,
 			fault:   slaveFaultFor(ft),
 			hbEvery: hbEvery,
 		}

@@ -185,12 +185,27 @@ func RunSlaveOn(ep Endpoint, cfg Config, id, slaves int, joiner bool, pre *Prepa
 		cfg.Fault = &fault.Plan{}
 	}
 	hbEvery := fault.NewDetector(cfg.Detect, 1).Config().HeartbeatEvery
+	// A daemon slave is a real OS process: building (or cache-loading) the
+	// native kernels inline here is safe, and the on-disk cache makes every
+	// run after the first a warm start.
+	tier, err := cfg.KernelTier()
+	if err != nil {
+		return err
+	}
+	var bundle *aotBundle
+	if tier == KernelAOT {
+		if bundle, err = buildAOT(cfg.Plan, cfg.Params); err != nil {
+			return err
+		}
+	}
 	s := &slave{
 		id:      id,
 		slaves:  slaves,
 		cfg:     &cfg,
 		exec:    pre.Exec,
 		grain:   pre.Grain,
+		tier:    tier,
+		aot:     bundle,
 		fault:   ftSlaveFault{},
 		hbEvery: hbEvery,
 		joiner:  joiner,

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/aot"
 	"repro/internal/cluster"
 	"repro/internal/compile"
 	"repro/internal/core"
@@ -77,6 +78,19 @@ func RunReal(cfg Config, slaves int) (*Result, error) {
 		return nil, err
 	}
 
+	tier, err := cfg.KernelTier()
+	if err != nil {
+		return nil, err
+	}
+	var bundle *aotBundle
+	var aotInfo *aot.BuildInfo
+	if tier == KernelAOT {
+		if bundle, err = buildAOT(cfg.Plan, cfg.Params); err != nil {
+			return nil, err
+		}
+		aotInfo = &bundle.prog.Info
+	}
+
 	var part *hier.Partition
 	if cfg.Groups > 1 {
 		if !cfg.DLB {
@@ -121,7 +135,7 @@ func RunReal(cfg Config, slaves int) (*Result, error) {
 		LinkLatency:  10 * time.Microsecond,
 		SendOverhead: time.Microsecond,
 	}
-	r := &Result{Exec: exec, Grain: grain}
+	r := &Result{Exec: exec, Grain: grain, AotInfo: aotInfo}
 	var pol FaultPolicy = noFaultPolicy{}
 	var flog *fault.Log
 	if ftMode {
@@ -181,6 +195,7 @@ func RunReal(cfg Config, slaves int) (*Result, error) {
 	spawn("master", cluster.MasterID, eng.runOn)
 	for i := 0; i < total; i++ {
 		s := &slave{id: i, slaves: slaves, cfg: &cfg, exec: exec, grain: grain,
+			tier: tier, aot: bundle,
 			fault: slaveFaultFor(ftMode), hbEvery: hbEvery}
 		if eng.relay {
 			s.part = part

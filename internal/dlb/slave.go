@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/aot"
 	"repro/internal/cluster"
 	"repro/internal/compile"
 	"repro/internal/core"
@@ -36,10 +37,18 @@ type slave struct {
 	env        map[string]int
 	redSnap    map[string][]float64 // reduction arrays at the last Combine
 
+	// tier is the resolved kernel tier; aot carries the run's shared
+	// native kernels and aotKernels the per-instance bindings (only
+	// regions the emitter accepted — others fall back tier by tier).
+	tier       string
+	aot        *aotBundle
+	aotKernels map[*compile.OwnedLoop]*aot.BoundKernel
+
 	// cores is the resolved per-slave worker count (Config.Cores); owned
 	// runs wide enough to amortize goroutine startup are partitioned
 	// across this many kernel workers.
 	cores         int
+	aotUnits      int64 // units executed through AOT-built native kernels
 	kernelUnits   int64 // units executed through compiled range kernels
 	fallbackUnits int64 // units executed through the lowered fallback
 
@@ -103,6 +112,10 @@ func (s *slave) runOn(ep Endpoint) {
 	s.frags = map[*compile.OwnedLoop]*loopir.Fragment{}
 	s.kernels = map[*compile.OwnedLoop]*loopir.RangeKernel{}
 	s.ownerFrags = map[*compile.OwnerBlock]*loopir.Fragment{}
+	s.aotKernels = map[*compile.OwnedLoop]*aot.BoundKernel{}
+	if s.tier == "" {
+		s.tier = KernelVM
+	}
 	if err := s.lowerSteps(plan.Steps); err != nil {
 		panic(fmt.Sprintf("slave%d: %v", s.id, err))
 	}
@@ -197,11 +210,20 @@ func (s *slave) lowerSteps(steps []compile.Step) error {
 				return err
 			}
 		case *compile.OwnedLoop:
-			// The range kernel is the hot path; compilation failure
+			// The range kernel is the hot path (and, on the aot tier, the
+			// oracle for guard and worker resolution); compilation failure
 			// (non-affine subscripts) leaves only the lowered fragment,
-			// which execOwned then uses.
-			if rk, err := s.inst.CompileRangeKernel(st.Var, st.Body); err == nil {
-				s.kernels[st] = rk
+			// which execOwned then uses. The interp tier skips it so every
+			// owned unit runs through the lowered fragments.
+			if s.tier != KernelInterp {
+				if rk, err := s.inst.CompileRangeKernel(st.Var, st.Body); err == nil {
+					s.kernels[st] = rk
+				}
+			}
+			if k := s.aot.kernelFor(st); k != nil && s.tier == KernelAOT {
+				if bk, err := k.Bind(s.inst.Arrays); err == nil {
+					s.aotKernels[st] = bk
+				}
 			}
 			wrapped := []loopir.Stmt{
 				loopir.For(st.Var, loopir.Iv(rangeLo), loopir.Iv(rangeHi), st.Body...),
@@ -413,14 +435,18 @@ func (s *slave) execOwned(st *compile.OwnedLoop) {
 	// amortizes goroutine startup, and no runtime guard (a range-invariant
 	// read of a partitioned array) may land inside the run. The virtual
 	// Charge is divided by the same worker count, so simulated multicore
-	// slaves speed up exactly as real ones do.
+	// slaves speed up exactly as real ones do. On the aot tier the VM
+	// range kernel stays the oracle for guard and worker resolution, but
+	// dispatch goes to the native kernel; a native kernel that refuses
+	// parallel dispatch (reduction chain, subprocess runner) caps w at 1.
 	rk := s.kernels[st]
+	ak := s.aotKernels[st]
 	perUnit := s.perUnitFlops(st.Body, st.Var, lo+(hi-lo)/2)
 	ws := make([]int, len(runs))
 	charge := 0.0
 	for i, r := range runs {
 		w := 1
-		if rk != nil && s.cores > 1 && rk.ParallelSafe() {
+		if rk != nil && s.cores > 1 && rk.ParallelSafe() && (ak == nil || ak.K.CanParallel()) {
 			w = s.cores
 			if lim := int(perUnit * float64(r[1]-r[0]) / kernelParMinFlops); lim < w {
 				w = lim
@@ -441,6 +467,10 @@ func (s *slave) execOwned(st *compile.OwnedLoop) {
 	s.ep.Timed(func() {
 		for i, r := range runs {
 			switch {
+			case ak != nil && ws[i] > 1:
+				ak.RunParallel(r[0], r[1], bind, ws[i])
+			case ak != nil:
+				ak.Run(r[0], r[1], bind)
 			case rk == nil:
 				bind[rangeLo], bind[rangeHi] = r[0], r[1]
 				frag.Run(bind)
@@ -452,9 +482,12 @@ func (s *slave) execOwned(st *compile.OwnedLoop) {
 		}
 	})
 	s.unitsDone += float64(count)
-	if rk != nil {
+	switch {
+	case ak != nil:
+		s.aotUnits += int64(count)
+	case rk != nil:
 		s.kernelUnits += int64(count)
-	} else {
+	default:
 		s.fallbackUnits += int64(count)
 	}
 }
@@ -873,6 +906,7 @@ func (s *slave) runTree() {
 		HookIndex:     s.hookVisit,
 		Done:          true,
 		Epoch:         s.epoch,
+		AotUnits:      s.aotUnits,
 		KernelUnits:   s.kernelUnits,
 		FallbackUnits: s.fallbackUnits,
 	}
@@ -923,7 +957,7 @@ func (s *slave) applyRecover(a AdoptMsg) {
 	s.ffUntil = a.Hook
 	s.skipInstrOnce = !s.cfg.Synchronous && a.Hook >= 0
 	s.unitsDone = 0
-	s.kernelUnits, s.fallbackUnits = 0, 0
+	s.aotUnits, s.kernelUnits, s.fallbackUnits = 0, 0, 0
 	s.busyMark = s.ep.Busy()
 	s.lastMove, s.lastInter = 0, 0
 	s.blockLo, s.blockHi = 0, 0

@@ -218,6 +218,7 @@ func putStatus(b []byte, s dlb.StatusMsg) []byte {
 	b = putI64(b, int(s.InterCost))
 	b = putBool(b, s.Done)
 	b = putI64(b, s.Epoch)
+	b = putI64(b, int(s.AotUnits))
 	b = putI64(b, int(s.KernelUnits))
 	b = putI64(b, int(s.FallbackUnits))
 	return b
@@ -584,8 +585,8 @@ func (r *binReader) ownedMap() (map[string]map[int][]float64, error) {
 	return m, nil
 }
 
-// statusSize is the fixed encoded size of one StatusMsg (9 scalars + bool).
-const statusSize = 9*8 + 1
+// statusSize is the fixed encoded size of one StatusMsg (10 scalars + bool).
+const statusSize = 10*8 + 1
 
 func (r *binReader) status() (dlb.StatusMsg, error) {
 	var s dlb.StatusMsg
@@ -601,9 +602,10 @@ func (r *binReader) status() (dlb.StatusMsg, error) {
 	s.Busy, s.MoveCost, s.InterCost = time.Duration(busy), time.Duration(mc), time.Duration(ic)
 	s.Done, _ = r.boolv()
 	s.Epoch, _ = r.i64()
+	au, _ := r.i64()
 	ku, _ := r.i64()
 	fu, _ := r.i64()
-	s.KernelUnits, s.FallbackUnits = int64(ku), int64(fu)
+	s.AotUnits, s.KernelUnits, s.FallbackUnits = int64(au), int64(ku), int64(fu)
 	return s, nil
 }
 

@@ -64,7 +64,7 @@ func bulkMessages() []Envelope {
 				{Phase: 3, HookIndex: 40, Units: 12.5, Busy: 250 * time.Millisecond,
 					MoveCost: time.Millisecond, InterCost: 300 * time.Microsecond, Epoch: 1},
 				{Phase: 3, HookIndex: 40, Units: 11},
-				{Phase: 3, HookIndex: 40, Done: true, KernelUnits: 96, FallbackUnits: 4},
+				{Phase: 3, HookIndex: 40, Done: true, AotUnits: 12, KernelUnits: 96, FallbackUnits: 4},
 				{Phase: 3, HookIndex: 40, Units: 9.25, Busy: 260 * time.Millisecond},
 			},
 		}},

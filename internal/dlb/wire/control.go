@@ -37,6 +37,12 @@ type RunSpec struct {
 	// Cores is the per-slave kernel worker count (dlb.Config.Cores);
 	// daemons may override it locally with their own -cores setting.
 	Cores int
+	// Kernel is the execution tier for distributed-loop bodies
+	// (dlb.Config.Kernel: "interp", "kernel" or "aot"; empty means
+	// "kernel"). Daemons may override it locally with their own -kernel
+	// setting. The tier does not enter the plan hash — all tiers execute
+	// the same plan bit-identically.
+	Kernel string
 	// Groups, GroupExchangeEvery and GroupDiffusion select hierarchical
 	// two-level balancing (dlb.Config fields of the same names; zero values
 	// mean flat). Transport runs use the hierarchy decisions-only — reports

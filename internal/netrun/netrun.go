@@ -165,16 +165,17 @@ func specFromConfig(cfg dlb.Config, grain int, hbEvery time.Duration) wire.RunSp
 		dims[k] = v
 	}
 	return wire.RunSpec{
-		Source:         lang.Format(cfg.Plan.Prog),
-		Params:         params,
-		DistDims:       dims,
-		DistLoops:      append([]string(nil), cfg.Plan.Dist.Loops...),
-		HookFraction:   cfg.CompileOpts.HookFraction,
-		HookCostFlops:  cfg.CompileOpts.HookCostFlops,
-		Grain:          grain,
+		Source:             lang.Format(cfg.Plan.Prog),
+		Params:             params,
+		DistDims:           dims,
+		DistLoops:          append([]string(nil), cfg.Plan.Dist.Loops...),
+		HookFraction:       cfg.CompileOpts.HookFraction,
+		HookCostFlops:      cfg.CompileOpts.HookCostFlops,
+		Grain:              grain,
 		DLB:                cfg.DLB,
 		Synchronous:        cfg.Synchronous,
 		Cores:              cfg.Cores,
+		Kernel:             cfg.Kernel,
 		Groups:             cfg.Groups,
 		GroupExchangeEvery: cfg.GroupExchangeEvery,
 		GroupDiffusion:     cfg.GroupDiffusion,
@@ -205,6 +206,7 @@ func configFromSpec(spec wire.RunSpec) (dlb.Config, error) {
 		DLB:                spec.DLB,
 		Synchronous:        spec.Synchronous,
 		Cores:              spec.Cores,
+		Kernel:             spec.Kernel,
 		Groups:             spec.Groups,
 		GroupExchangeEvery: spec.GroupExchangeEvery,
 		GroupDiffusion:     spec.GroupDiffusion,

@@ -33,6 +33,12 @@ type ServerOptions struct {
 	// overrides are the point — a heterogeneous cluster advertises its
 	// actual width to the load balancer through its measured rate.
 	Cores int
+	// Kernel overrides the master's shipped execution tier for this daemon
+	// ("" uses the shipped value; "interp", "kernel" or "aot" force a
+	// tier). All tiers are bit-identical, so heterogeneous overrides are
+	// safe — a daemon without a working toolchain can pin itself to
+	// "kernel" while its peers run "aot".
+	Kernel string
 	// MaxGroups caps the hierarchical group count this daemon admits: a
 	// run whose shipped Groups exceeds it is rejected at handshake
 	// (RejectGroups). 0 means unlimited.
@@ -274,6 +280,9 @@ func (s *Server) runSession(nc net.Conn, wc *wire.Conn, st wire.StartMsg, joiner
 	}
 	if s.opt.Cores != 0 {
 		cfg.Cores = s.opt.Cores
+	}
+	if s.opt.Kernel != "" {
+		cfg.Kernel = s.opt.Kernel
 	}
 	pre, err := dlb.Prepare(cfg, st.Slaves)
 	if err != nil {

@@ -71,6 +71,11 @@ type JobSpec struct {
 	Synchronous bool `json:"synchronous,omitempty"`
 	// Cores caps each slave's kernel worker goroutines (0: runtime default).
 	Cores int `json:"cores,omitempty"`
+	// Kernel selects the execution tier for distributed-loop bodies
+	// ("interp", "kernel" or "aot"; empty: "kernel"). All tiers are
+	// bit-identical; "aot" pays a one-time toolchain build per program,
+	// cached on disk across jobs.
+	Kernel string `json:"kernel,omitempty"`
 	// Groups partitions the slaves for hierarchical two-level balancing
 	// (0 or 1: flat). The service may cap it (-groups on dlbsvc).
 	Groups int `json:"groups,omitempty"`
@@ -94,6 +99,9 @@ func (s *JobSpec) normalize() error {
 	}
 	if s.Groups < 0 {
 		return fmt.Errorf("svc: negative group count %d", s.Groups)
+	}
+	if _, err := (dlb.Config{Kernel: s.Kernel}).KernelTier(); err != nil {
+		return fmt.Errorf("svc: %w", err)
 	}
 	return nil
 }

@@ -62,6 +62,11 @@ type Options struct {
 	// MaxGroups caps the hierarchical group count a job may request
 	// (0: unlimited). Submissions beyond it are rejected at admission.
 	MaxGroups int
+	// Kernel is the default execution tier for jobs that do not name one
+	// ("" keeps dlb's own default, the portable VM). A job's explicit
+	// Kernel always wins; all tiers are bit-identical, so the choice is
+	// purely about speed versus toolchain availability on the host.
+	Kernel string
 	// Timeouts bounds each run's transport operations.
 	Timeouts netrun.Timeouts
 	// Logf receives service events (nil: silent).
@@ -133,6 +138,7 @@ func (s *Service) cfgFor(plan *compile.Plan, spec JobSpec) dlb.Config {
 		DLB:         true,
 		Synchronous: spec.Synchronous,
 		Cores:       spec.Cores,
+		Kernel:      spec.Kernel,
 		Groups:      spec.Groups,
 		RealQuantum: s.opt.RealQuantum,
 		Fault:       &fault.Plan{},
@@ -145,6 +151,9 @@ func (s *Service) cfgFor(plan *compile.Plan, spec JobSpec) dlb.Config {
 // later Submit of the same spec admits at cache-hit speed. Compilation
 // happens synchronously on the caller.
 func (s *Service) Warm(spec JobSpec) error {
+	if spec.Kernel == "" {
+		spec.Kernel = s.opt.Kernel
+	}
 	if err := spec.normalize(); err != nil {
 		return err
 	}
@@ -160,6 +169,9 @@ func (s *Service) Warm(spec JobSpec) error {
 // Submit admits a job: compile (or hit the plan cache), enqueue, kick the
 // scheduler. Returns the job ID.
 func (s *Service) Submit(spec JobSpec) (string, error) {
+	if spec.Kernel == "" {
+		spec.Kernel = s.opt.Kernel
+	}
 	if err := spec.normalize(); err != nil {
 		return "", err
 	}
