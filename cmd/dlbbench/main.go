@@ -9,7 +9,7 @@
 //	dlbbench -out results/    # write <name>.txt (and fig9.csv) files
 //
 // Experiments: table1 fig5 fig6 fig7 fig8 fig9 pipeline grain refinements
-// lu baselines hetero fault net svc plane kernel scale
+// lu baselines hetero fault net svc plane kernel scale irregular
 package main
 
 import (
@@ -35,7 +35,7 @@ type artifact struct {
 }
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run (table1, fig5..fig9, pipeline, grain, refinements, lu, baselines, hetero, fault, net, svc, plane, kernel, scale, all)")
+	which := flag.String("exp", "all", "experiment to run (table1, fig5..fig9, pipeline, grain, refinements, lu, baselines, hetero, fault, net, svc, plane, kernel, scale, irregular, all)")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	out := flag.String("out", "", "directory to write artifacts to (default: stdout)")
 	flag.Parse()
@@ -178,6 +178,19 @@ func main() {
 			content: exp.RenderScale(rep),
 			extra: map[string]string{
 				"BENCH_scale.json": exp.ScaleJSON(rep),
+			},
+		})
+	}
+	if want("irregular") {
+		rep, err := exp.Irregular(scale)
+		if err != nil {
+			fail(err)
+		}
+		artifacts = append(artifacts, artifact{
+			name:    "irregular",
+			content: exp.RenderIrregular(rep),
+			extra: map[string]string{
+				"BENCH_irregular.json": exp.IrregularJSON(rep),
 			},
 		})
 	}

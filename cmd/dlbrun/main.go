@@ -71,7 +71,7 @@ func parseLoad(s string) (cluster.LoadProfile, error) {
 }
 
 func main() {
-	progName := flag.String("prog", "mm", "program: mm, sor, lu, jacobi, axpy, periodic-sor")
+	progName := flag.String("prog", "mm", "program: mm, sor, lu, jacobi, axpy, periodic-sor, spmv, pbin")
 	file := flag.String("file", "", "run a source file instead of a library program")
 	distFlag := flag.String("dist", "", "distribution directive array:dim[,array:dim] (for -file; default: automatic)")
 	n := flag.Int("n", 128, "problem size")
@@ -88,6 +88,7 @@ func main() {
 	real := flag.Bool("real", false, "run for real: wall-clock goroutines instead of the simulated cluster")
 	cores := flag.Int("cores", 0, "kernel worker goroutines per slave (0/1: sequential, -1: all hardware cores)")
 	kernel := flag.String("kernel", "", `execution tier for distributed-loop bodies: "interp", "kernel" (default) or "aot"`)
+	costModel := flag.String("costmodel", "", `balancer's view of work units: "uniform" (default) or "learned" (per-unit costs measured online)`)
 	groups := flag.Int("groups", 0, "hierarchical balancing: partition slaves into this many leader-led groups (0/1: flat)")
 	groupEvery := flag.Int("group-every", 0, "inter-group diffusive exchange cadence in balancing rounds (0: default 4)")
 	groupAlpha := flag.Float64("group-alpha", 0, "diffusion under-relaxation factor in (0,1] (0: default 0.5)")
@@ -179,6 +180,7 @@ func main() {
 		FlopCost:           *flopCost,
 		Cores:              *cores,
 		Kernel:             *kernel,
+		CostModel:          *costModel,
 		Groups:             *groups,
 		GroupExchangeEvery: *groupEvery,
 		GroupDiffusion:     *groupAlpha,
@@ -284,6 +286,16 @@ func main() {
 	if *showStats && res.Counters != nil {
 		fmt.Println()
 		fmt.Print(res.Counters.Table("engine counters"))
+	}
+	if *showStats && len(res.Loads) > 0 {
+		// Average imbalance factor: max/mean weighted per-slave backlog,
+		// averaged over the balancing rounds. 1.0 is a perfect spread.
+		sum := 0.0
+		for _, l := range res.Loads {
+			sum += l.Max / l.Mean
+		}
+		fmt.Printf("  weighted imbalance: avg max/mean %.3f over %d rounds\n",
+			sum/float64(len(res.Loads)), len(res.Loads))
 	}
 
 	if *showTrace && len(res.Trace) > 0 {

@@ -171,6 +171,21 @@ func completionTime(counts []int, rates []float64) float64 {
 // period and hook-skip count. unitsPerHook is the total work (active
 // units across all slaves) executed between consecutive hook instances.
 func (b *Balancer) Step(statuses []Status, unitsPerHook float64) Decision {
+	return b.step(statuses, unitsPerHook, nil)
+}
+
+// StepWeighted is Step under a per-unit cost model: weights holds one
+// relative cost per unit (indexed like the ownership map), status rates are
+// in weight units per second, and unitsPerHook is likewise weighted. Target
+// allocations equalize weighted completion time instead of unit counts.
+func (b *Balancer) StepWeighted(statuses []Status, unitsPerHook float64, weights []float64) Decision {
+	if weights == nil {
+		panic("core: StepWeighted requires a weight vector")
+	}
+	return b.step(statuses, unitsPerHook, weights)
+}
+
+func (b *Balancer) step(statuses []Status, unitsPerHook float64, weights []float64) Decision {
 	if len(statuses) != b.cfg.Slaves {
 		panic("core: status count mismatch")
 	}
@@ -220,11 +235,21 @@ func (b *Balancer) Step(statuses []Status, unitsPerHook float64) Decision {
 		return d
 	}
 	counts := b.own.ActiveCounts()
-	targets := apportionAlive(total, rates, b.alive)
-	d.Targets = targets
 
-	before := completionTime(counts, rates)
-	after := completionTime(targets, rates)
+	var targets []int
+	var before, after float64
+	if weights == nil {
+		targets = apportionAlive(total, rates, b.alive)
+		before = completionTime(counts, rates)
+		after = completionTime(targets, rates)
+	} else {
+		curW := ActiveWeightTotals(b.own, weights)
+		var tgtW []float64
+		targets, tgtW = weightedTargets(b.own, rates, weights, b.alive, b.cfg.Restricted)
+		before = CompletionTimeWeighted(curW, rates)
+		after = CompletionTimeWeighted(tgtW, rates)
+	}
+	d.Targets = targets
 	switch {
 	case math.IsInf(before, 1) && !math.IsInf(after, 1):
 		d.Improvement = 1

@@ -1,0 +1,203 @@
+package core
+
+import "math"
+
+// Weighted apportionment: the uniform-unit assumption retired. The legacy
+// apportioning treats every active unit as equally expensive, so target
+// *counts* proportional to rates equalize completion times. When a learned
+// per-unit cost model is in play (internal/dlb's UnitCostModel), units carry
+// relative weights and the balancer must equalize *weighted* completion
+// times instead: each slot's share of the total active weight — not of the
+// unit count — tracks its measured rate. The functions here compute target
+// unit counts whose projected weighted shares do that, in both movement
+// disciplines, and stay exactly off the legacy code paths when weights are
+// absent so uniform-cost runs remain bit-identical.
+
+// ActiveWeightTotals returns each slot's aggregate weight of active owned
+// units. A nil weight vector counts units (weight 1 each).
+func ActiveWeightTotals(o *Ownership, w []float64) []float64 {
+	out := make([]float64, o.slaves)
+	for u, s := range o.owner {
+		if !o.active[u] {
+			continue
+		}
+		if w == nil {
+			out[s]++
+		} else {
+			out[s] += w[u]
+		}
+	}
+	return out
+}
+
+// CompletionTimeWeighted is the projected time for the slowest slot to
+// finish its weighted allocation at the given rates (rates in weight units
+// per second): max over slots of weight/rate, +Inf when a slot holds weight
+// but measures no rate.
+func CompletionTimeWeighted(weights, rates []float64) float64 {
+	worst := 0.0
+	for i := range weights {
+		if weights[i] <= 0 {
+			continue
+		}
+		if rates[i] <= 0 {
+			return math.Inf(1)
+		}
+		if t := weights[i] / rates[i]; t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// weightShares converts rates into desired weight allocations summing to
+// total: share_i = total * rate_i / sum(rates), dead or non-positive-rate
+// slots getting zero. ok is false when no slot has a positive rate (the
+// caller falls back to the even legacy split).
+func weightShares(total float64, rates []float64, alive []bool) ([]float64, bool) {
+	sum := 0.0
+	for i, r := range rates {
+		if alive != nil && !alive[i] {
+			continue
+		}
+		if r > 0 {
+			sum += r
+		}
+	}
+	if sum <= 0 {
+		return nil, false
+	}
+	out := make([]float64, len(rates))
+	for i, r := range rates {
+		if alive != nil && !alive[i] {
+			continue
+		}
+		if r > 0 {
+			out[i] = total * r / sum
+		}
+	}
+	return out, true
+}
+
+// WeightedSplitRange splits a contiguous run of units (given by their
+// weights, in unit order) into per-slot counts whose cumulative weights
+// track the desired shares: unit k goes to the first slot whose cumulative
+// share cutoff covers the unit's weight midpoint. This is the restricted-
+// movement analogue of Apportion — the resulting counts feed the same
+// prefix-boundary move generation, so contiguity is preserved. Returns the
+// counts and each slot's projected weight.
+func WeightedSplitRange(unitW []float64, shares []float64) (counts []int, tgtW []float64) {
+	n := len(shares)
+	counts = make([]int, n)
+	tgtW = make([]float64, n)
+	if n == 0 {
+		return counts, tgtW
+	}
+	cut := make([]float64, n)
+	c := 0.0
+	for i, s := range shares {
+		c += s
+		cut[i] = c
+	}
+	i := 0
+	acc := 0.0
+	for _, wu := range unitW {
+		mid := acc + wu/2
+		for i < n-1 && mid > cut[i] {
+			i++
+		}
+		counts[i]++
+		tgtW[i] += wu
+		acc += wu
+	}
+	return counts, tgtW
+}
+
+// WeightedPeelCounts computes per-slot target counts for unrestricted
+// movement: slots over their desired weight peel their highest-numbered
+// active units (exactly the units MovesUnrestricted will take) until
+// dropping below the desired weight by at most half the last unit, and the
+// peeled pool is dealt to under-weight slots in id order. owned lists each
+// slot's active units ascending; w is the global per-unit weight vector.
+func WeightedPeelCounts(owned [][]int, w []float64, shares []float64) (counts []int, tgtW []float64) {
+	n := len(owned)
+	counts = make([]int, n)
+	tgtW = make([]float64, n)
+	var pool []int
+	for s := 0; s < n; s++ {
+		units := owned[s]
+		counts[s] = len(units)
+		for _, u := range units {
+			tgtW[s] += w[u]
+		}
+		// Peel from the top while giving the unit away brings us closer to
+		// the desired weight than keeping it.
+		for k := len(units) - 1; k >= 0; k-- {
+			wu := w[units[k]]
+			if tgtW[s]-wu/2 <= shares[s] {
+				break
+			}
+			pool = append(pool, units[k])
+			tgtW[s] -= wu
+			counts[s]--
+		}
+	}
+	// Deal the pool to deficit slots in id order; the remainder (rounding
+	// slack) lands on the last slot still below its share, or the final
+	// slot with a positive share.
+	d := 0
+	last := -1
+	for i := range shares {
+		if shares[i] > 0 {
+			last = i
+		}
+	}
+	for _, u := range pool {
+		wu := w[u]
+		for d < n && (shares[d] <= 0 || tgtW[d]+wu/2 > shares[d]) {
+			d++
+		}
+		t := d
+		if t >= n {
+			t = last
+			if t < 0 {
+				t = n - 1
+			}
+		}
+		counts[t]++
+		tgtW[t] += wu
+	}
+	return counts, tgtW
+}
+
+// weightedTargets computes target unit counts for the balancer's weighted
+// step: desired weight shares proportional to rates, realized by the
+// prefix split (restricted) or the peel (unrestricted). Falls back to the
+// legacy even apportioning when no slot measures a positive rate.
+func weightedTargets(o *Ownership, rates, w []float64, alive []bool, restricted bool) (targets []int, tgtW []float64) {
+	var total float64
+	for u := range o.owner {
+		if o.active[u] {
+			total += w[u]
+		}
+	}
+	shares, ok := weightShares(total, rates, alive)
+	if !ok {
+		targets = apportionAlive(o.ActiveTotal(), rates, alive)
+		return targets, ActiveWeightTotals(o, w)
+	}
+	if restricted {
+		var unitW []float64
+		for u := range o.owner {
+			if o.active[u] {
+				unitW = append(unitW, w[u])
+			}
+		}
+		return WeightedSplitRange(unitW, shares)
+	}
+	owned := make([][]int, o.slaves)
+	for s := 0; s < o.slaves; s++ {
+		owned[s] = o.OwnedActive(s)
+	}
+	return WeightedPeelCounts(owned, w, shares)
+}

@@ -73,7 +73,7 @@ func (tr *tracer) record(arr string, flat int, write bool, stmtID, refIdx int) {
 		for k, v := range tr.env {
 			env[k] = v
 		}
-		if v, err := loopir.EvalIndex(oe, env); err == nil {
+		if v, err := tr.in.EvalIndex(oe, env); err == nil {
 			owner = v
 		}
 	}
@@ -100,7 +100,7 @@ func (tr *tracer) flatIndex(r loopir.Ref) (int, error) {
 		for k, v := range tr.env {
 			env[k] = v
 		}
-		v, err := loopir.EvalIndex(ie, env)
+		v, err := tr.in.EvalIndex(ie, env)
 		if err != nil {
 			return 0, err
 		}
@@ -194,11 +194,11 @@ func (tr *tracer) execStmts(stmts []loopir.Stmt) error {
 			for k, v := range tr.env {
 				env[k] = v
 			}
-			lo, err := loopir.EvalIndex(s.Lo, env)
+			lo, err := tr.in.EvalIndex(s.Lo, env)
 			if err != nil {
 				return err
 			}
-			hi, err := loopir.EvalIndex(s.Hi, env)
+			hi, err := tr.in.EvalIndex(s.Hi, env)
 			if err != nil {
 				return err
 			}

@@ -32,6 +32,10 @@ type StatusMsg struct {
 	AotUnits      int64
 	KernelUnits   int64
 	FallbackUnits int64
+	// CostBlocks summarizes the measured per-unit cost of the work this
+	// report covers (learned cost model; nil under the uniform model).
+	// Ranges are clamped to maxCostBlocks entries per report.
+	CostBlocks []CostBlock
 }
 
 // InstrMsg is the master's reply: redistribution moves and the hook-skip

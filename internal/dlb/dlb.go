@@ -99,6 +99,15 @@ type Config struct {
 	// artifact, and dispatches to it — falling back tier by tier for
 	// regions the emitter refuses. All tiers are bit-identical.
 	Kernel string
+	// CostModel selects how the master weighs work units when balancing:
+	// "uniform" (the default) keeps the classic every-unit-equal
+	// assumption, "learned" has slaves measure per-block busy time online
+	// and the master learn relative per-unit weights (EWMA, seeded from
+	// the uniform prior) so irregular programs — sparse matrices,
+	// power-law particle bins — balance on estimated cost instead of unit
+	// counts. Dense programs produce uniform measurements and stay
+	// bit-identical to the uniform mode.
+	CostModel string
 	// CollectTrace records per-phase rate/work samples (Figure 9).
 	CollectTrace bool
 	// RealQuantum is the grain-sizing target quantum for RunReal (default
@@ -174,6 +183,25 @@ func (c Config) KernelTier() (string, error) {
 		c.Kernel, KernelInterp, KernelVM, KernelAOT)
 }
 
+// Cost-model modes for the balancer's view of work units.
+const (
+	CostUniform = "uniform"
+	CostLearned = "learned"
+)
+
+// CostModelMode resolves the CostModel knob ("" means uniform) or returns
+// an error naming the valid modes.
+func (c Config) CostModelMode() (string, error) {
+	switch c.CostModel {
+	case "", CostUniform:
+		return CostUniform, nil
+	case CostLearned:
+		return CostLearned, nil
+	}
+	return "", fmt.Errorf("dlb: unknown cost model %q (want %q or %q)",
+		c.CostModel, CostUniform, CostLearned)
+}
+
 // CoreCount resolves the Cores knob to an effective worker count.
 func (c Config) CoreCount() int {
 	switch {
@@ -201,6 +229,13 @@ type Sample struct {
 	Period time.Duration
 }
 
+// LoadSample is one balancing round's weighted load distribution: the max
+// and mean per-slave weighted active backlog after the round's moves.
+type LoadSample struct {
+	Phase     int
+	Max, Mean float64
+}
+
 // Result summarizes a run.
 type Result struct {
 	// Elapsed is the virtual time from start to the last gather.
@@ -225,6 +260,11 @@ type Result struct {
 	Moves, UnitsMoved int
 	// Trace holds Figure 9 samples when CollectTrace is set.
 	Trace []Sample
+	// Loads records the weighted load distribution at each balancing
+	// round: max and mean per-slave weighted backlog under the run's cost
+	// model (all weights 1.0 in uniform mode). max/mean is the imbalance
+	// factor the -stats flag reports.
+	Loads []LoadSample
 	// Counters holds the engine's named event counters — the same names on
 	// every endpoint (simulated, wall-clock, TCP).
 	Counters metrics.Counters
@@ -328,6 +368,9 @@ func Run(cfg Config, cc cluster.Config) (*Result, error) {
 	// scheduler. The bundle is shared read-only by all slaves.
 	tier, err := cfg.KernelTier()
 	if err != nil {
+		return nil, err
+	}
+	if _, err := cfg.CostModelMode(); err != nil {
 		return nil, err
 	}
 	var bundle *aotBundle
@@ -447,6 +490,23 @@ func SequentialTime(plan *compile.Plan, params map[string]int, flopCost time.Dur
 	if err := inst.Run(); err != nil {
 		return 0, nil, err
 	}
-	flops := loopir.EstFlops(plan.Prog.Body, params)
+	var flops float64
+	if loopir.UsesIArr(plan.Prog.Body) {
+		// Indirect programs' trip counts are data-dependent: estimate
+		// against a freshly initialized instance (pre-Run values of the
+		// index arrays equal the post-init values the parallel run charges
+		// against, since index arrays are never written).
+		est, err := loopir.NewInstance(plan.Prog, params)
+		if err != nil {
+			return 0, nil, err
+		}
+		env := map[string]int{}
+		for k, v := range params {
+			env[k] = v
+		}
+		flops = est.EstFlops(plan.Prog.Body, env)
+	} else {
+		flops = loopir.EstFlops(plan.Prog.Body, params)
+	}
 	return time.Duration(flops * float64(flopCost)), inst.Arrays, nil
 }

@@ -43,6 +43,17 @@ type engine struct {
 	part  *hier.Partition
 	relay bool
 
+	// Learned per-unit cost model. costModel is non-nil whenever cost
+	// blocks are collected (learned mode, or an indirect program under
+	// uniform mode — the model then only feeds the imbalance metric);
+	// costMode gates whether decisions use it. wRisk/wRate track weighted
+	// work since the last committed checkpoint and the latest round's
+	// aggregate weighted rate, for work-at-risk checkpoint throttling.
+	costModel *UnitCostModel
+	costMode  string
+	wRisk     float64
+	wRate     float64
+
 	done      []bool
 	doneCount int
 
@@ -70,6 +81,10 @@ func (e *engine) runOn(ep Endpoint) {
 	e.own = own
 	e.setup = newBalancerSetup(e.cfg, e.cc, e.exec, e.inst, e.initial)
 	e.bal = e.setup.newBalancer(own)
+	e.costMode, _ = e.cfg.CostModelMode()
+	if e.costMode == CostLearned || loopir.UsesIArr(e.plan.Prog.Body) {
+		e.costModel = NewUnitCostModel(e.exec.Units)
+	}
 	if e.part != nil && e.part.Groups() > 1 {
 		e.topo = newHierTopology(e, e.part, e.relay)
 	} else {
@@ -193,9 +208,26 @@ func (e *engine) handleRound(raw map[int]StatusMsg) {
 		}
 	}
 
+	// Pool the round's measured per-block costs (in id order, keeping the
+	// fold deterministic) into one model update, and account the weighted
+	// work completed since the last checkpoint.
+	if e.costModel != nil {
+		var pool []CostBlock
+		for _, id := range ids {
+			st := raw[id]
+			e.wRisk += e.costModel.WeightDone(st.CostBlocks)
+			pool = append(pool, st.CostBlocks...)
+		}
+		e.costModel.Observe(pool)
+	}
+
 	var d core.Decision
 	if e.cfg.DLB {
 		d = e.topo.decide(e, raw, ids, phase, hookIdx)
+		if sum := rateSum(d.FilteredRates); sum > 0 {
+			e.wRate = sum
+		}
+		e.recordLoad(phase, ids)
 	}
 
 	ckptSeq := 0
@@ -223,6 +255,52 @@ func (e *engine) handleRound(raw map[int]StatusMsg) {
 		e.res.Counters.Add("instr_bytes", int64(bytes)*int64(len(ids)))
 	}
 	e.pol.RoundSent(e)
+}
+
+func rateSum(rates []float64) float64 {
+	s := 0.0
+	for _, r := range rates {
+		s += r
+	}
+	return s
+}
+
+// recordLoad samples the post-decision weighted load distribution: max and
+// mean per-participant weighted active backlog under the run's cost model
+// (weight 1.0 everywhere without one). max/mean is the imbalance factor
+// dlbrun -stats reports.
+func (e *engine) recordLoad(phase int, ids []int) {
+	var w []float64
+	if e.costModel != nil {
+		w = e.costModel.Weights()
+	}
+	totals := core.ActiveWeightTotals(e.own, w)
+	max, sum := 0.0, 0.0
+	for _, id := range ids {
+		if id >= len(totals) {
+			continue
+		}
+		if totals[id] > max {
+			max = totals[id]
+		}
+		sum += totals[id]
+	}
+	if sum <= 0 {
+		return
+	}
+	e.res.Loads = append(e.res.Loads, LoadSample{Phase: phase, Max: max, Mean: sum / float64(len(ids))})
+}
+
+// riskTime converts the weighted work completed since the last committed
+// checkpoint into an equivalent busy duration at the current aggregate
+// rate. Only the learned cost model uses it: under uniform weights the
+// wall-clock interval the checkpoint policy already measures is the same
+// signal.
+func (e *engine) riskTime() (time.Duration, bool) {
+	if e.costMode != CostLearned || e.wRate <= 0 {
+		return 0, false
+	}
+	return time.Duration(e.wRisk / e.wRate * float64(time.Second)), true
 }
 
 // gather assembles the final arrays from the surviving participants. With a

@@ -321,8 +321,17 @@ func (p *ftPolicy) CheckpointSeq(e *engine, phase int, ids []int) int {
 	// lastRoundAt is this round's observation time (set pre-charge by
 	// RoundObserved), matching the clock the commit stamps lastCkptAt with.
 	// A pending preemption forces a cut at the first eligible round — the
-	// stop snapshot should be as fresh as the protocol allows.
-	if !p.wantCkpt && !e.cfg.Preempt.Requested() && !p.pol.Should(p.lastRoundAt, p.lastCkptAt, e.setup.ckptCost) {
+	// stop snapshot should be as fresh as the protocol allows. Under the
+	// learned cost model the "time since last checkpoint" the policy
+	// throttles on is replaced by the weighted work at risk converted to
+	// time at the current aggregate rate: on irregular programs wall time
+	// between rounds is a poor proxy for how much recomputation a failure
+	// would cost.
+	at := p.lastRoundAt
+	if rt, ok := e.riskTime(); ok {
+		at = p.lastCkptAt + rt
+	}
+	if !p.wantCkpt && !e.cfg.Preempt.Requested() && !p.pol.Should(at, p.lastCkptAt, e.setup.ckptCost) {
 		return 0
 	}
 	p.seq++
@@ -394,6 +403,7 @@ func (p *ftPolicy) commitCkpt(e *engine) {
 	e.res.Checkpoints++
 	e.res.Counters.Add("checkpoints", 1)
 	p.lastCkptAt = now
+	e.wRisk = 0 // the committed cut retires the weighted work at risk
 	p.log.Add(now, fault.LogCheckpoint, -1, "seq %d committed at hook %d", pk.seq, ck.Hook)
 	if e.cfg.Preempt.Requested() {
 		p.stopForPreemption(e)

@@ -19,6 +19,14 @@ const (
 	rangeHi = "__hi"
 )
 
+// fragRunner is a compiled or interpreted compute fragment. Affine bodies
+// lower to postfix fragments (loopir.Fragment); bodies the lowerer refuses
+// — indirect subscripts like a[idx[i]] — fall back to the tree-walking
+// InterpFragment, which runs the same statements against the same arrays.
+type fragRunner interface {
+	Run(bind map[string]int)
+}
+
 type slave struct {
 	id     int
 	slaves int
@@ -30,12 +38,24 @@ type slave struct {
 	inst *loopir.Instance
 	own  *core.Ownership
 
-	frags      map[*compile.OwnedLoop]*loopir.Fragment
+	frags      map[*compile.OwnedLoop]fragRunner
 	kernels    map[*compile.OwnedLoop]*loopir.RangeKernel
-	ownerFrags map[*compile.OwnerBlock]*loopir.Fragment
+	ownerFrags map[*compile.OwnerBlock]fragRunner
 	allFrags   []allFrag
 	env        map[string]int
 	redSnap    map[string][]float64 // reduction arrays at the last Combine
+
+	// iarr marks owned loops whose bodies use indirect (array-valued)
+	// subscripts: their per-unit cost is data-dependent, so the flop
+	// estimate walks each unit instead of sampling the midpoint.
+	iarr map[*compile.OwnedLoop]bool
+
+	// Per-unit cost measurement (learned cost model, and always-on for
+	// indirect programs so the imbalance metric stays weighted): costAcc
+	// accumulates modeled busy seconds per owned unit since the last
+	// report; execHook drains it into CostBlock summaries.
+	costOn  bool
+	costAcc []float64
 
 	// tier is the resolved kernel tier; aot carries the run's shared
 	// native kernels and aotKernels the per-instance bindings (only
@@ -109,10 +129,11 @@ func (s *slave) runOn(ep Endpoint) {
 	// Compile the generated code against the local arrays: one range
 	// kernel (plus a lowered fallback fragment) per distributed loop, one
 	// fragment per owner block.
-	s.frags = map[*compile.OwnedLoop]*loopir.Fragment{}
+	s.frags = map[*compile.OwnedLoop]fragRunner{}
 	s.kernels = map[*compile.OwnedLoop]*loopir.RangeKernel{}
-	s.ownerFrags = map[*compile.OwnerBlock]*loopir.Fragment{}
+	s.ownerFrags = map[*compile.OwnerBlock]fragRunner{}
 	s.aotKernels = map[*compile.OwnedLoop]*aot.BoundKernel{}
+	s.iarr = map[*compile.OwnedLoop]bool{}
 	if s.tier == "" {
 		s.tier = KernelVM
 	}
@@ -120,6 +141,18 @@ func (s *slave) runOn(ep Endpoint) {
 		panic(fmt.Sprintf("slave%d: %v", s.id, err))
 	}
 	s.cores = s.cfg.CoreCount()
+
+	// Per-unit cost measurement: always on for indirect (data-dependent)
+	// programs so the weighted imbalance metric is meaningful in either
+	// mode; the learned mode additionally feeds the master's model.
+	mode, err := s.cfg.CostModelMode()
+	if err != nil {
+		panic(fmt.Sprintf("slave%d: %v", s.id, err))
+	}
+	s.costOn = mode == CostLearned || loopir.UsesIArr(plan.Prog.Body)
+	if s.costOn {
+		s.costAcc = make([]float64, s.exec.Units)
+	}
 
 	s.env = map[string]int{}
 	for k, v := range s.exec.Params {
@@ -225,34 +258,33 @@ func (s *slave) lowerSteps(steps []compile.Step) error {
 					s.aotKernels[st] = bk
 				}
 			}
+			s.iarr[st] = loopir.UsesIArr(st.Body)
 			wrapped := []loopir.Stmt{
 				loopir.For(st.Var, loopir.Iv(rangeLo), loopir.Iv(rangeHi), st.Body...),
 			}
-			frag, err := s.inst.LowerStmts(wrapped)
-			if err != nil {
-				return err
-			}
-			s.frags[st] = frag
+			s.frags[st] = s.lowerOrInterp(wrapped)
 		case *compile.OwnerBlock:
-			frag, err := s.inst.LowerStmts(st.Body)
-			if err != nil {
-				return err
-			}
-			s.ownerFrags[st] = frag
+			s.ownerFrags[st] = s.lowerOrInterp(st.Body)
 		case *compile.AllStmts:
-			frag, err := s.inst.LowerStmts(st.Body)
-			if err != nil {
-				return err
-			}
-			s.allFrags = append(s.allFrags, allFrag{st, frag})
+			s.allFrags = append(s.allFrags, allFrag{st, s.lowerOrInterp(st.Body)})
 		}
 	}
 	return nil
 }
 
+// lowerOrInterp lowers statements to a postfix fragment, falling back to
+// the tree-walking interpreter for bodies the lowerer refuses (indirect
+// subscripts).
+func (s *slave) lowerOrInterp(stmts []loopir.Stmt) fragRunner {
+	if frag, err := s.inst.LowerStmts(stmts); err == nil {
+		return frag
+	}
+	return &loopir.InterpFragment{In: s.inst, Stmts: stmts}
+}
+
 type allFrag struct {
 	step *compile.AllStmts
-	frag *loopir.Fragment
+	frag fragRunner
 }
 
 func (s *slave) execSteps(steps []compile.Step) {
@@ -381,6 +413,67 @@ func (s *slave) execCombine(st *compile.Combine) {
 	}
 }
 
+// drainCostBlocks summarizes the per-unit cost accumulated since the last
+// report into at most maxCostBlocks contiguous blocks and resets the
+// accumulator. Chunks whose units all carry the identical cost report that
+// exact value (no mean computation), so a genuinely uniform program's
+// reports are exactly uniform and the master's model never leaves the
+// dense prior.
+func (s *slave) drainCostBlocks() []CostBlock {
+	if !s.costOn {
+		return nil
+	}
+	// Contiguous runs of touched units.
+	type span struct{ lo, hi int }
+	var spans []span
+	touched := 0
+	for u := 0; u < len(s.costAcc); u++ {
+		if s.costAcc[u] <= 0 {
+			continue
+		}
+		if len(spans) > 0 && spans[len(spans)-1].hi == u {
+			spans[len(spans)-1].hi = u + 1
+		} else {
+			spans = append(spans, span{u, u + 1})
+		}
+		touched++
+	}
+	if touched == 0 {
+		return nil
+	}
+	chunk := (touched + maxCostBlocks - 1) / maxCostBlocks
+	if chunk < 1 {
+		chunk = 1
+	}
+	var blocks []CostBlock
+	for _, sp := range spans {
+		for lo := sp.lo; lo < sp.hi; lo += chunk {
+			hi := lo + chunk
+			if hi > sp.hi {
+				hi = sp.hi
+			}
+			mn, mx, sum := s.costAcc[lo], s.costAcc[lo], 0.0
+			for u := lo; u < hi; u++ {
+				v := s.costAcc[u]
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+				sum += v
+				s.costAcc[u] = 0
+			}
+			per := mn
+			if mn != mx {
+				per = sum / float64(hi-lo)
+			}
+			blocks = append(blocks, CostBlock{Lo: lo, Hi: hi, PerUnit: per})
+		}
+	}
+	return blocks
+}
+
 func (s *slave) owned() []int {
 	if s.ownedCache == nil {
 		s.ownedCache = s.own.Owned(s.id)
@@ -441,14 +534,44 @@ func (s *slave) execOwned(st *compile.OwnedLoop) {
 	// parallel dispatch (reduction chain, subprocess runner) caps w at 1.
 	rk := s.kernels[st]
 	ak := s.aotKernels[st]
-	perUnit := s.perUnitFlops(st.Body, st.Var, lo+(hi-lo)/2)
+	iarr := s.iarr[st]
+	var perUnit float64
+	var unitFlops []float64 // per-unit estimates, indirect bodies only
+	if iarr {
+		// Data-dependent body: the midpoint sample is meaningless, so walk
+		// the owned units and estimate each one against the live arrays.
+		// The simulated charge then reflects the real skew — exactly the
+		// signal the learned cost model measures.
+		local := map[string]int{}
+		for k, v := range s.env {
+			local[k] = v
+		}
+		unitFlops = make([]float64, 0, count)
+		for _, r := range runs {
+			for u := r[0]; u < r[1]; u++ {
+				local[st.Var] = u
+				unitFlops = append(unitFlops, s.inst.EstFlops(st.Body, local))
+			}
+		}
+	} else {
+		perUnit = s.perUnitFlops(st.Body, st.Var, lo+(hi-lo)/2)
+	}
 	ws := make([]int, len(runs))
 	charge := 0.0
+	flopSec := s.cfg.FlopCost.Seconds()
+	ui := 0
 	for i, r := range runs {
+		runFlops := perUnit * float64(r[1]-r[0])
+		if iarr {
+			runFlops = 0
+			for k := 0; k < r[1]-r[0]; k++ {
+				runFlops += unitFlops[ui+k]
+			}
+		}
 		w := 1
 		if rk != nil && s.cores > 1 && rk.ParallelSafe() && (ak == nil || ak.K.CanParallel()) {
 			w = s.cores
-			if lim := int(perUnit * float64(r[1]-r[0]) / kernelParMinFlops); lim < w {
+			if lim := int(runFlops / kernelParMinFlops); lim < w {
 				w = lim
 			}
 			if w > 1 {
@@ -459,7 +582,17 @@ func (s *slave) execOwned(st *compile.OwnedLoop) {
 			}
 		}
 		ws[i] = w
-		charge += perUnit * float64(r[1]-r[0]) / float64(w)
+		charge += runFlops / float64(w)
+		if s.costOn {
+			for u := r[0]; u < r[1]; u++ {
+				f := perUnit
+				if iarr {
+					f = unitFlops[ui+u-r[0]]
+				}
+				s.costAcc[u] += f / float64(w) * flopSec
+			}
+		}
+		ui += r[1] - r[0]
 	}
 	s.ep.Charge(time.Duration(charge * float64(s.cfg.FlopCost)))
 
@@ -658,13 +791,14 @@ func (s *slave) execHook(st *compile.Hook) {
 
 	busyStart := s.ep.Busy()
 	status := StatusMsg{
-		Phase:     s.phase,
-		HookIndex: hv,
-		Units:     s.unitsDone,
-		Busy:      busyStart - s.busyMark,
-		MoveCost:  s.lastMove,
-		InterCost: s.lastInter,
-		Epoch:     s.epoch,
+		Phase:      s.phase,
+		HookIndex:  hv,
+		Units:      s.unitsDone,
+		Busy:       busyStart - s.busyMark,
+		MoveCost:   s.lastMove,
+		InterCost:  s.lastInter,
+		Epoch:      s.epoch,
+		CostBlocks: s.drainCostBlocks(),
 	}
 	if s.part != nil {
 		s.sendStatusHier(status)
@@ -958,6 +1092,9 @@ func (s *slave) applyRecover(a AdoptMsg) {
 	s.skipInstrOnce = !s.cfg.Synchronous && a.Hook >= 0
 	s.unitsDone = 0
 	s.aotUnits, s.kernelUnits, s.fallbackUnits = 0, 0, 0
+	for i := range s.costAcc {
+		s.costAcc[i] = 0
+	}
 	s.busyMark = s.ep.Busy()
 	s.lastMove, s.lastInter = 0, 0
 	s.blockLo, s.blockHi = 0, 0

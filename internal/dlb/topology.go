@@ -73,6 +73,56 @@ func rawStatuses(e *engine, raw map[int]StatusMsg, ids []int, counts []int) []co
 	return statuses
 }
 
+// weightedRound reports whether this round's decision should use the
+// learned weights: the run is in learned mode and the model has actually
+// left the uniform prior for the active units. Dense programs never leave
+// it, so their decisions take the legacy path bit for bit.
+func weightedRound(e *engine) ([]int, bool) {
+	if e.costMode != CostLearned || e.costModel == nil {
+		return nil, false
+	}
+	var active []int
+	for u := 0; u < e.own.Units(); u++ {
+		if e.own.IsActive(u) {
+			active = append(active, u)
+		}
+	}
+	if e.costModel.UniformActive(active) {
+		return nil, false
+	}
+	return active, true
+}
+
+// weightedStatuses mirrors rawStatuses with weighted work: a slave's rate
+// is the model-weighted units it completed per busy second, so machine
+// speed is measured independently of which (cheap or expensive) units it
+// happened to hold. Empty slaves are imputed the mean, as in the uniform
+// path.
+func weightedStatuses(e *engine, raw map[int]StatusMsg, ids []int, counts []int) []core.Status {
+	statuses := make([]core.Status, e.own.Slaves())
+	var sumRate float64
+	var nRate int
+	for _, id := range ids {
+		st := raw[id]
+		rate := 0.0
+		if wd := e.costModel.WeightDone(st.CostBlocks); st.Busy > 0 && wd > 0 {
+			rate = wd / st.Busy.Seconds()
+			sumRate += rate
+			nRate++
+		}
+		statuses[id] = core.Status{Rate: rate, MoveCost: st.MoveCost, InteractionCost: st.InterCost}
+	}
+	if nRate > 0 {
+		mean := sumRate / float64(nRate)
+		for _, id := range ids {
+			if statuses[id].Rate == 0 && counts[id] == 0 {
+				statuses[id].Rate = mean
+			}
+		}
+	}
+	return statuses
+}
+
 // recordTrace appends the round's per-slave samples (Figure 9's series).
 func recordTrace(e *engine, ids []int, statuses []core.Status, d core.Decision, phase int) {
 	if !e.cfg.CollectTrace {
@@ -111,6 +161,15 @@ type flatTopology struct{}
 
 func (flatTopology) decide(e *engine, raw map[int]StatusMsg, ids []int, phase, hookIdx int) core.Decision {
 	counts := e.own.ActiveCounts()
+	if active, ok := weightedRound(e); ok {
+		statuses := weightedStatuses(e, raw, ids, counts)
+		uph := unitsPerHookAt(e, hookIdx) * e.costModel.ActiveMean(active)
+		d := e.bal.StepWeighted(statuses, uph, e.costModel.Weights())
+		e.pol.NoteRates(d.FilteredRates)
+		noteMoves(e, d)
+		recordTrace(e, ids, statuses, d, phase)
+		return d
+	}
 	statuses := rawStatuses(e, raw, ids, counts)
 	d := e.bal.Step(statuses, unitsPerHookAt(e, hookIdx))
 	e.pol.NoteRates(d.FilteredRates)
@@ -206,6 +265,9 @@ func improvementFrom(before, after float64) float64 {
 }
 
 func (t *hierTopology) decide(e *engine, raw map[int]StatusMsg, ids []int, phase, hookIdx int) core.Decision {
+	if active, ok := weightedRound(e); ok {
+		return t.decideWeighted(e, raw, ids, phase, hookIdx, active)
+	}
 	slots := e.own.Slaves()
 	counts := e.own.ActiveCounts()
 	statuses := rawStatuses(e, raw, ids, counts)
@@ -361,6 +423,281 @@ func (t *hierTopology) decide(e *engine, raw map[int]StatusMsg, ids []int, phase
 	// benefit accrues over the whole next exchange interval, not one
 	// balancing period, and the under-relaxed flow already embodies the
 	// cost/benefit tradeoff.
+	if !e.setup.balCfg.DisableProfitability && !t.exchange {
+		cost := t.costs.EstimateMoves(moves)
+		benefit := time.Duration(d.Improvement * float64(period))
+		if cost > benefit {
+			d.Suppressed = "not-profitable"
+			recordTrace(e, ids, statuses, d, phase)
+			return d
+		}
+	}
+
+	for _, m := range moves {
+		if err := e.own.Apply(m); err != nil {
+			panic(err)
+		}
+		from, to := t.part.GroupOf(m.From), t.part.GroupOf(m.To)
+		e.res.Counters.Add(fmt.Sprintf("hier_g%02d_moves", from), 1)
+		e.res.Counters.Add(fmt.Sprintf("hier_g%02d_units_out", from), int64(len(m.Units)))
+		if from != to {
+			e.res.Counters.Add("hier_cross_moves", 1)
+			e.res.Counters.Add("hier_cross_units", int64(len(m.Units)))
+		}
+	}
+	d.Moves = moves
+	noteMoves(e, d)
+	recordTrace(e, ids, statuses, d, phase)
+	return d
+}
+
+// weightFlowsToUnits converts the diffuser's weighted boundary flows into
+// whole-unit shifts: a positive flow peels units off the top of the left
+// group (exactly the units a boundary move will carry) until taking the
+// next unit's weight would overshoot past its midpoint; negative flows
+// mirror from the bottom of the right group. activeW lists the weights of
+// the active units in unit order; gtot the per-group active unit counts.
+// Returns the integer unit flows and the signed weight each one actually
+// moved.
+func weightFlowsToUnits(activeW []float64, gtot []int, wflows []float64) ([]int, []float64) {
+	G := len(gtot)
+	flows := make([]int, G-1)
+	moved := make([]float64, G-1)
+	prov := append([]int(nil), gtot...)
+	for b := 0; b < G-1; b++ {
+		fw := wflows[b]
+		// Boundary position: active units [0, P) currently label groups
+		// 0..b under the provisional (post-earlier-flows) counts.
+		P := 0
+		for h := 0; h <= b; h++ {
+			P += prov[h]
+		}
+		switch {
+		case fw > 0:
+			acc, n := 0.0, 0
+			for i := P - 1; i >= P-prov[b] && i >= 0; i-- {
+				wu := activeW[i]
+				if acc+wu/2 > fw {
+					break
+				}
+				acc += wu
+				n++
+			}
+			flows[b], moved[b] = n, acc
+			prov[b] -= n
+			prov[b+1] += n
+		case fw < 0:
+			acc, n := 0.0, 0
+			for i := P; i < P+prov[b+1] && i < len(activeW); i++ {
+				wu := activeW[i]
+				if acc+wu/2 > -fw {
+					break
+				}
+				acc += wu
+				n++
+			}
+			flows[b], moved[b] = -n, -acc
+			prov[b+1] -= n
+			prov[b] += n
+		}
+	}
+	return flows, moved
+}
+
+// decideWeighted is the hierarchy's decision round under a non-uniform
+// learned cost model: group summaries aggregate weighted backlog, the
+// diffuser trades weight across boundaries, and each group's allotment is
+// split over its members by weighted rate share. Structure mirrors the
+// uniform decide — filters, global cadence, exchange-cadence flows,
+// group-local hold-still, one global move computation, profitability on
+// the fast cadence only.
+func (t *hierTopology) decideWeighted(e *engine, raw map[int]StatusMsg, ids []int, phase, hookIdx int, active []int) core.Decision {
+	slots := e.own.Slaves()
+	counts := e.own.ActiveCounts()
+	weights := e.costModel.Weights()
+	statuses := weightedStatuses(e, raw, ids, counts)
+
+	rates := make([]float64, slots)
+	var sumRate float64
+	for _, id := range ids {
+		if t.alive != nil && id < len(t.alive) && !t.alive[id] {
+			continue
+		}
+		if e.setup.balCfg.DisableFilter {
+			rates[id] = statuses[id].Rate
+		} else {
+			rates[id] = t.filters[id].Update(statuses[id].Rate)
+		}
+		if rates[id] < 0 {
+			rates[id] = 0
+		}
+		sumRate += rates[id]
+		if statuses[id].MoveCost > 0 {
+			t.lastMove = statuses[id].MoveCost
+		}
+		if statuses[id].InteractionCost > 0 {
+			t.lastInt = statuses[id].InteractionCost
+		}
+	}
+	e.pol.NoteRates(rates)
+
+	period := core.TargetPeriod(core.PeriodInputs{
+		MoveCost:        t.lastMove,
+		InteractionCost: t.lastInt,
+		Quantum:         e.setup.balCfg.Quantum,
+	})
+	var hookInterval time.Duration
+	uphW := unitsPerHookAt(e, hookIdx) * e.costModel.ActiveMean(active)
+	if sumRate > 0 && uphW > 0 {
+		hookInterval = time.Duration(uphW / sumRate * float64(time.Second))
+	}
+	d := core.Decision{
+		Period:        period,
+		SkipHooks:     core.HookSkip(period, hookInterval, e.setup.balCfg.MaxSkip),
+		FilteredRates: rates,
+	}
+
+	total := e.own.ActiveTotal()
+	if total == 0 {
+		recordTrace(e, ids, statuses, d, phase)
+		return d
+	}
+
+	t.round++
+	G := t.part.Groups()
+	t.exchange = G > 1 && t.every > 0 && t.round%t.every == 0
+
+	wTotals := core.ActiveWeightTotals(e.own, weights)
+	members := make([][]int, G)
+	gtot := make([]int, G)
+	grate := make([]float64, G)
+	gw := make([]float64, G)
+	for id := 0; id < slots; id++ {
+		g := t.part.GroupOf(id)
+		members[g] = append(members[g], id)
+		gtot[g] += counts[id]
+		grate[g] += rates[id]
+		gw[g] += wTotals[id]
+	}
+
+	// Exchange cadence: trade weight across boundaries, realized as whole
+	// boundary units.
+	gshareW := append([]float64(nil), gw...)
+	var flows []int
+	if t.exchange {
+		sums := make([]hier.Summary, G)
+		for g := 0; g < G; g++ {
+			sums[g] = hier.Summary{Group: g, Rate: grate[g], Backlog: gtot[g], Members: len(members[g]), Weight: gw[g]}
+		}
+		activeW := make([]float64, len(active))
+		for i, u := range active {
+			activeW[i] = weights[u]
+		}
+		var moved []float64
+		flows, moved = weightFlowsToUnits(activeW, gtot, t.diff.FlowsWeighted(sums))
+		gtot = hier.ApplyFlows(gtot, flows)
+		for b, mw := range moved {
+			gshareW[b] -= mw
+			gshareW[b+1] += mw
+		}
+		e.res.Counters.Add("hier_exchanges", 1)
+		for _, f := range flows {
+			if f < 0 {
+				f = -f
+			}
+			e.res.Counters.Add("hier_shift_units", int64(f))
+		}
+	}
+
+	// Fast cadence: each group's weight allotment split over its members'
+	// weighted rates, holding untouched groups still below the
+	// group-local improvement threshold.
+	shares := make([]float64, slots)
+	for g := 0; g < G; g++ {
+		mids := members[g]
+		mrates := make([]float64, len(mids))
+		mcur := make([]float64, len(mids))
+		alive := func(id int) bool {
+			return t.alive == nil || (id < len(t.alive) && t.alive[id])
+		}
+		msum := 0.0
+		nAlive := 0
+		for i, id := range mids {
+			mrates[i] = rates[id]
+			mcur[i] = wTotals[id]
+			if alive(id) {
+				msum += rates[id]
+				nAlive++
+			}
+		}
+		cand := make([]float64, len(mids))
+		for i, id := range mids {
+			if !alive(id) {
+				continue
+			}
+			switch {
+			case msum > 0:
+				cand[i] = gshareW[g] * rates[id] / msum
+			case nAlive > 0:
+				cand[i] = gshareW[g] / float64(nAlive)
+			}
+		}
+		touched := t.exchange && ((g > 0 && flows[g-1] != 0) || (g < G-1 && flows[g] != 0))
+		if !touched {
+			impr := improvementFrom(core.CompletionTimeWeighted(mcur, mrates), core.CompletionTimeWeighted(cand, mrates))
+			if impr < e.setup.balCfg.MinImprovement || impr <= 0 {
+				copy(cand, mcur) // below threshold: hold the group still
+			}
+		}
+		for i, id := range mids {
+			shares[id] = cand[i]
+		}
+	}
+
+	var targets []int
+	var tgtW []float64
+	if e.setup.balCfg.Restricted {
+		activeW := make([]float64, len(active))
+		for i, u := range active {
+			activeW[i] = weights[u]
+		}
+		targets, tgtW = core.WeightedSplitRange(activeW, shares)
+	} else {
+		owned := make([][]int, slots)
+		for s := 0; s < slots; s++ {
+			owned[s] = e.own.OwnedActive(s)
+		}
+		targets, tgtW = core.WeightedPeelCounts(owned, weights, shares)
+	}
+	d.Targets = targets
+	d.Improvement = improvementFrom(core.CompletionTimeWeighted(wTotals, rates), core.CompletionTimeWeighted(tgtW, rates))
+	changed := false
+	for id := 0; id < slots; id++ {
+		if targets[id] != counts[id] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		recordTrace(e, ids, statuses, d, phase)
+		return d
+	}
+
+	var moves []core.Move
+	if e.setup.balCfg.Restricted {
+		if t.alive != nil {
+			moves = core.MovesRestrictedAlive(e.own, targets, t.alive)
+		} else {
+			moves = core.MovesRestricted(e.own, targets)
+		}
+	} else {
+		moves = core.MovesUnrestricted(e.own, targets)
+	}
+	if len(moves) == 0 {
+		recordTrace(e, ids, statuses, d, phase)
+		return d
+	}
+
 	if !e.setup.balCfg.DisableProfitability && !t.exchange {
 		cost := t.costs.EstimateMoves(moves)
 		benefit := time.Duration(d.Improvement * float64(period))

@@ -40,7 +40,7 @@ const (
 // if the layout of any message changes (the handshake's ProtocolVersion
 // already gates incompatible deployments, this is a belt-and-suspenders
 // check against stream corruption).
-const binaryVersion = 1
+const binaryVersion = 2
 
 // Binary message type tags.
 const (
@@ -208,7 +208,8 @@ func putOwnedMap(b []byte, m map[string]map[int][]float64) []byte {
 	return b
 }
 
-// putStatus writes one StatusMsg (fixed-width scalars only).
+// putStatus writes one StatusMsg: fixed-width scalars followed by the
+// length-prefixed per-block cost section (empty on uniform-cost runs).
 func putStatus(b []byte, s dlb.StatusMsg) []byte {
 	b = putI64(b, s.Phase)
 	b = putI64(b, s.HookIndex)
@@ -221,6 +222,12 @@ func putStatus(b []byte, s dlb.StatusMsg) []byte {
 	b = putI64(b, int(s.AotUnits))
 	b = putI64(b, int(s.KernelUnits))
 	b = putI64(b, int(s.FallbackUnits))
+	b = putU32(b, uint32(len(s.CostBlocks)))
+	for _, cb := range s.CostBlocks {
+		b = putI64(b, cb.Lo)
+		b = putI64(b, cb.Hi)
+		b = putF64(b, cb.PerUnit)
+	}
 	return b
 }
 
@@ -585,8 +592,13 @@ func (r *binReader) ownedMap() (map[string]map[int][]float64, error) {
 	return m, nil
 }
 
-// statusSize is the fixed encoded size of one StatusMsg (10 scalars + bool).
-const statusSize = 10*8 + 1
+// statusSize is the minimum encoded size of one StatusMsg: 10 scalars, the
+// Done bool, and the cost-block count prefix. Cost blocks (24 bytes each)
+// follow when present.
+const statusSize = 10*8 + 1 + 4
+
+// costBlockSize is the fixed encoded size of one CostBlock (Lo, Hi, PerUnit).
+const costBlockSize = 3 * 8
 
 func (r *binReader) status() (dlb.StatusMsg, error) {
 	var s dlb.StatusMsg
@@ -606,6 +618,18 @@ func (r *binReader) status() (dlb.StatusMsg, error) {
 	ku, _ := r.i64()
 	fu, _ := r.i64()
 	s.AotUnits, s.KernelUnits, s.FallbackUnits = int64(au), int64(ku), int64(fu)
+	nb, err := r.count(costBlockSize)
+	if err != nil {
+		return s, err
+	}
+	if nb > 0 {
+		s.CostBlocks = make([]dlb.CostBlock, nb)
+		for i := range s.CostBlocks {
+			s.CostBlocks[i].Lo, _ = r.i64() // bounds pre-checked by count
+			s.CostBlocks[i].Hi, _ = r.i64()
+			s.CostBlocks[i].PerUnit, _ = r.f64()
+		}
+	}
 	return s, nil
 }
 

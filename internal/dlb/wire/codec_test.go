@@ -65,7 +65,8 @@ func bulkMessages() []Envelope {
 					MoveCost: time.Millisecond, InterCost: 300 * time.Microsecond, Epoch: 1},
 				{Phase: 3, HookIndex: 40, Units: 11},
 				{Phase: 3, HookIndex: 40, Done: true, AotUnits: 12, KernelUnits: 96, FallbackUnits: 4},
-				{Phase: 3, HookIndex: 40, Units: 9.25, Busy: 260 * time.Millisecond},
+				{Phase: 3, HookIndex: 40, Units: 9.25, Busy: 260 * time.Millisecond,
+					CostBlocks: []dlb.CostBlock{{Lo: 0, Hi: 32, PerUnit: 1.5e-6}, {Lo: 40, Hi: 41, PerUnit: 0.012}}},
 			},
 		}},
 		{Tag: "gdone", From: 0, Payload: dlb.GroupStatusMsg{Group: 0, Ids: []int{0}, Statuses: []dlb.StatusMsg{{Done: true}}}},
@@ -279,6 +280,8 @@ func FuzzFrameDecode(f *testing.F) {
 	}
 	f.Add(valid(Envelope{Tag: "work", From: 1, Payload: dlb.WorkMsg{Units: []int{1}}}, true))
 	f.Add(valid(Envelope{Tag: "status", From: 1, Payload: dlb.StatusMsg{Units: 5}}, false))
+	f.Add(valid(Envelope{Tag: "status", From: 1, Payload: dlb.StatusMsg{Units: 5,
+		CostBlocks: []dlb.CostBlock{{Lo: 3, Hi: 9, PerUnit: 4e-6}}}}, true))
 	f.Add([]byte{0x80, 0x00, 0x00, 0x02, 0x01, 0x07})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c := NewConn(bytes.NewBuffer(data))

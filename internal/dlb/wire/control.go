@@ -43,6 +43,11 @@ type RunSpec struct {
 	// setting. The tier does not enter the plan hash — all tiers execute
 	// the same plan bit-identically.
 	Kernel string
+	// CostModel selects the balancer's view of work units
+	// (dlb.Config.CostModel: "uniform" or "learned"; empty means
+	// "uniform"). Like Kernel it does not enter the plan hash — the plan
+	// is identical, only the master's weighting of it changes.
+	CostModel string
 	// Groups, GroupExchangeEvery and GroupDiffusion select hierarchical
 	// two-level balancing (dlb.Config fields of the same names; zero values
 	// mean flat). Transport runs use the hierarchy decisions-only — reports

@@ -23,6 +23,8 @@ func FuzzDecode(f *testing.F) {
 		return buf.Bytes()
 	}
 	f.Add(valid(Envelope{Tag: "status", From: 3, Payload: dlb.StatusMsg{Phase: 2, Units: 10}}))
+	f.Add(valid(Envelope{Tag: "status", From: 3, Payload: dlb.StatusMsg{Phase: 2, Units: 10,
+		CostBlocks: []dlb.CostBlock{{Lo: 0, Hi: 8, PerUnit: 2e-6}}}}))
 	f.Add(valid(Envelope{Tag: "hb", From: 0, Payload: dlb.HeartbeatMsg{Epoch: 1}}))
 	f.Add(valid(Envelope{Tag: TagHello, From: 1, Payload: HelloMsg{Version: 1, Node: 1}}))
 	f.Add(valid(Envelope{Tag: "reduce:r", From: 2, Payload: []float64{1, 2, 3}})[:7])

@@ -205,6 +205,11 @@ type Summary struct {
 	Rate    float64 // aggregate units/second of the group's members
 	Backlog int     // active units assigned to the group
 	Members int     // live member count
+	// Weight is the group's backlog in learned cost-model units (the sum
+	// of its active units' relative weights). Zero on uniform-cost runs;
+	// FlowsWeighted uses it in place of the unit count so an expensive
+	// block range counts as the work it actually is.
+	Weight float64
 }
 
 // Diffuser computes first-order diffusive flows along the group chain.
@@ -266,6 +271,57 @@ func (d Diffuser) Flows(sums []Summary) []int {
 	flows := make([]int, len(sums)-1)
 	for b := 0; b < len(flows); b++ {
 		f := int(math.Round(alpha * d.pairFlow(sums[b], sums[b+1])))
+		if f > prov[b] {
+			f = prov[b]
+		}
+		if -f > prov[b+1] {
+			f = -prov[b+1]
+		}
+		flows[b] = f
+		prov[b] -= f
+		prov[b+1] += f
+	}
+	return flows
+}
+
+// pairFlowW is pairFlow over weighted backlogs: rates are in weight units
+// per second and the returned flow is an amount of weight to shift.
+func (d Diffuser) pairFlowW(l, r Summary) float64 {
+	lr, rr := l.Rate, r.Rate
+	lb, rb := l.Weight, r.Weight
+	switch {
+	case lr > 0 && rr > 0:
+		return (lb/lr - rb/rr) * (lr * rr / (lr + rr))
+	case lr <= 0 && rr > 0:
+		return lb
+	case rr <= 0 && lr > 0:
+		return -rb
+	default:
+		return (lb - rb) / 2
+	}
+}
+
+// FlowsWeighted is Flows under a learned cost model: summaries carry
+// weighted backlogs (Summary.Weight, rates in weight units per second) and
+// the returned per-boundary flows are real-valued amounts of weight,
+// positive meaning left-to-right. The caller converts weight into whole
+// boundary units against its unit weight vector; clamping to provisional
+// weighted backlogs keeps no group overdrawn, mirroring Flows.
+func (d Diffuser) FlowsWeighted(sums []Summary) []float64 {
+	alpha := d.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	if len(sums) < 2 {
+		return nil
+	}
+	prov := make([]float64, len(sums))
+	for i, s := range sums {
+		prov[i] = s.Weight
+	}
+	flows := make([]float64, len(sums)-1)
+	for b := 0; b < len(flows); b++ {
+		f := alpha * d.pairFlowW(sums[b], sums[b+1])
 		if f > prov[b] {
 			f = prov[b]
 		}

@@ -77,6 +77,13 @@ func formatIExpr(e loopir.IExpr) string {
 		return string(e)
 	case loopir.IBin:
 		return fmt.Sprintf("(%s %c %s)", formatIExpr(e.L), e.Op, formatIExpr(e.R))
+	case loopir.IArr:
+		var sb strings.Builder
+		sb.WriteString(e.Array)
+		for _, ix := range e.Idx {
+			fmt.Fprintf(&sb, "[%s]", formatIExpr(ix))
+		}
+		return sb.String()
 	}
 	return "?"
 }

@@ -2,6 +2,7 @@ package lang
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 
 	"repro/internal/loopir"
@@ -23,6 +24,23 @@ var initializers = map[string]func(arg float64) loopir.InitFn{
 				return x + v
 			}
 			return x
+		}
+	},
+	// powrows(salt): block-correlated power-law row lengths in [0,64) —
+	// floor(64·h⁴) of a hash of the 32-row block index (see loopir's
+	// irregular program library).
+	"powrows": func(salt float64) loopir.InitFn {
+		return func(idx []int) float64 {
+			h := hashInit(uint64(salt), []int{idx[0] / 32})
+			v := h * h
+			v *= v
+			return math.Floor(64 * v)
+		}
+	},
+	// band(salt): integer band offsets in [-32,32): floor(64·h) − 32.
+	"band": func(salt float64) loopir.InitFn {
+		return func(idx []int) float64 {
+			return math.Floor(64*hashInit(uint64(salt), idx)) - 32
 		}
 	},
 }
@@ -165,7 +183,7 @@ func (p *parser) arrayDecl() (*loopir.ArrayDecl, error) {
 		}
 		builder, ok := initializers[fn.text]
 		if !ok {
-			return nil, p.errf(fn, "unknown initializer %q (have zero, hash, diagdom)", fn.text)
+			return nil, p.errf(fn, "unknown initializer %q (have zero, hash, diagdom, powrows, band)", fn.text)
 		}
 		arg := 0.0
 		if p.cur().text == "(" {
@@ -399,7 +417,24 @@ func (p *parser) ifactor() (loopir.IExpr, error) {
 		return loopir.Ic(n), nil
 	case t.kind == tokIdent && !keywords[t.text]:
 		p.pos++
-		return loopir.Iv(t.text), nil
+		if p.cur().text != "[" {
+			return loopir.Iv(t.text), nil
+		}
+		// Subscripted identifier in index position: a data-array read
+		// (IArr), e.g. "rowlen[i]" as a loop bound.
+		var idx []loopir.IExpr
+		for p.cur().text == "[" {
+			p.pos++
+			e, err := p.iexpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			idx = append(idx, e)
+		}
+		return loopir.Ia(t.text, idx...), nil
 	case t.text == "(":
 		p.pos++
 		e, err := p.iexpr()

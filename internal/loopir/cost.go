@@ -125,6 +125,79 @@ func estFlops(stmts []Stmt, env map[string]int) float64 {
 	return total
 }
 
+// EstFlops is the instance-bound estimate: loop bounds are evaluated
+// against the instance's arrays, so data-dependent (IArr) trip counts
+// contribute their actual data-driven cost instead of being skipped the
+// way the package-level EstFlops must. Index arrays are read-only by
+// validation, so the estimate is stable across the run.
+func (in *Instance) EstFlops(stmts []Stmt, env map[string]int) float64 {
+	local := map[string]int{}
+	for k, v := range env {
+		local[k] = v
+	}
+	return in.estFlops(stmts, local)
+}
+
+func (in *Instance) estFlops(stmts []Stmt, env map[string]int) float64 {
+	total := 0.0
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Loop:
+			lo, err1 := in.EvalIndex(s.Lo, env)
+			hi, err2 := in.EvalIndex(s.Hi, env)
+			if err1 != nil || err2 != nil {
+				continue // unbound variable: treat as zero-cost, caller beware
+			}
+			trip := hi - lo
+			if trip <= 0 {
+				continue
+			}
+			if loopBoundsUseIArr(s.Body) {
+				// A nested trip count reads an index array through this
+				// loop's variable: the midpoint row is not representative
+				// on skewed data, so sum the body over every iteration.
+				for v := lo; v < hi; v++ {
+					env[s.Var] = v
+					total += in.estFlops(s.Body, env)
+				}
+				delete(env, s.Var)
+				continue
+			}
+			env[s.Var] = lo + trip/2
+			total += float64(trip) * in.estFlops(s.Body, env)
+			delete(env, s.Var)
+		case *Assign:
+			total += float64(exprOps(s.RHS) + 1)
+		case *If:
+			total += float64(exprOps(s.Cond.L)+exprOps(s.Cond.R)) + 1
+			total += 0.5 * (in.estFlops(s.Then, env) + in.estFlops(s.Else, env))
+		}
+	}
+	return total
+}
+
+// loopBoundsUseIArr reports whether any loop in the subtree has a
+// data-dependent (IArr) trip count — the case where midpoint-sampling an
+// enclosing loop misestimates total cost on skewed data.
+func loopBoundsUseIArr(stmts []Stmt) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Loop:
+			set := map[string]bool{}
+			collectIArrIdx(s.Lo, set)
+			collectIArrIdx(s.Hi, set)
+			if len(set) > 0 || loopBoundsUseIArr(s.Body) {
+				return true
+			}
+		case *If:
+			if loopBoundsUseIArr(s.Then) || loopBoundsUseIArr(s.Else) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // ExactFlops counts the floating-point operations of a statement list by
 // walking the full iteration space (without touching data, so If arms are
 // maximized). Exponential in nothing, but linear in total iterations — use

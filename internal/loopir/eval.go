@@ -189,6 +189,47 @@ func EvalIndex(e IExpr, env map[string]int) (int, error) {
 	return 0, fmt.Errorf("unknown index expression %T", e)
 }
 
+// EvalIndex evaluates an index expression against the instance: the
+// package-level evaluation extended with IArr data-array reads (truncated
+// toward zero), which have no meaning without bound arrays.
+func (in *Instance) EvalIndex(e IExpr, env map[string]int) (int, error) {
+	switch e := e.(type) {
+	case IBin:
+		l, err := in.EvalIndex(e.L, env)
+		if err != nil {
+			return 0, err
+		}
+		r, err := in.EvalIndex(e.R, env)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case '+':
+			return l + r, nil
+		case '-':
+			return l - r, nil
+		case '*':
+			return l * r, nil
+		}
+		return 0, fmt.Errorf("bad index op %q", string(e.Op))
+	case IArr:
+		arr, ok := in.Arrays[e.Array]
+		if !ok {
+			return 0, fmt.Errorf("index read of unknown array %q", e.Array)
+		}
+		idx := make([]int, len(e.Idx))
+		for d, ie := range e.Idx {
+			v, err := in.EvalIndex(ie, env)
+			if err != nil {
+				return 0, err
+			}
+			idx[d] = v
+		}
+		return int(arr.At(idx...)), nil
+	}
+	return EvalIndex(e, env)
+}
+
 // EvalExpr evaluates a data expression against the instance's arrays.
 func (in *Instance) EvalExpr(e Expr, env map[string]int) (float64, error) {
 	switch e := e.(type) {
@@ -201,7 +242,7 @@ func (in *Instance) EvalExpr(e Expr, env map[string]int) (float64, error) {
 		}
 		idx := make([]int, len(e.Idx))
 		for d, ie := range e.Idx {
-			v, err := EvalIndex(ie, env)
+			v, err := in.EvalIndex(ie, env)
 			if err != nil {
 				return 0, err
 			}
@@ -273,11 +314,11 @@ func (in *Instance) interpretStmts(stmts []Stmt, env map[string]int) error {
 	for _, s := range stmts {
 		switch s := s.(type) {
 		case *Loop:
-			lo, err := EvalIndex(s.Lo, env)
+			lo, err := in.EvalIndex(s.Lo, env)
 			if err != nil {
 				return err
 			}
-			hi, err := EvalIndex(s.Hi, env)
+			hi, err := in.EvalIndex(s.Hi, env)
 			if err != nil {
 				return err
 			}
@@ -308,7 +349,7 @@ func (in *Instance) interpretStmts(stmts []Stmt, env map[string]int) error {
 			}
 			idx := make([]int, len(s.LHS.Idx))
 			for d, ie := range s.LHS.Idx {
-				iv, err := EvalIndex(ie, env)
+				iv, err := in.EvalIndex(ie, env)
 				if err != nil {
 					return err
 				}
@@ -333,6 +374,30 @@ func (in *Instance) interpretStmts(stmts []Stmt, env map[string]int) error {
 		}
 	}
 	return nil
+}
+
+// InterpFragment runs a statement list through the tree-walking
+// interpreter under a caller-supplied binding — the execution tier of last
+// resort for fragments the lowering engine refuses (data-dependent IArr
+// subscripts and bounds). It satisfies the same Run contract as a lowered
+// Fragment.
+type InterpFragment struct {
+	In    *Instance
+	Stmts []Stmt
+}
+
+// Run executes the fragment with bind layered over the instance parameters.
+func (f *InterpFragment) Run(bind map[string]int) {
+	env := map[string]int{}
+	for k, v := range f.In.Params {
+		env[k] = v
+	}
+	for k, v := range bind {
+		env[k] = v
+	}
+	if err := f.In.interpretStmts(f.Stmts, env); err != nil {
+		panic(fmt.Sprintf("loopir: interpreted fragment: %v", err))
+	}
 }
 
 // Run executes the program, preferring the compiled kernel, then the

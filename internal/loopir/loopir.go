@@ -40,14 +40,35 @@ type IBin struct {
 	L, R IExpr
 }
 
+// IArr reads a data-array element and truncates it toward zero to an
+// integer — a data-dependent subscript or loop bound (CSR row lengths,
+// per-cell particle counts). An array read through IArr anywhere in a
+// program must never be written by that program: the dependence analysis
+// does not trace data-dependent index values, and read-only index arrays
+// are what make that sound (Validate enforces it). IArr is not accepted in
+// array dimension declarations.
+type IArr struct {
+	Array string
+	Idx   []IExpr
+}
+
 func (ICon) isIExpr() {}
 func (IVar) isIExpr() {}
 func (IBin) isIExpr() {}
+func (IArr) isIExpr() {}
 
 func (c ICon) String() string { return fmt.Sprintf("%d", int(c)) }
 func (v IVar) String() string { return string(v) }
 func (b IBin) String() string {
 	return fmt.Sprintf("(%s %c %s)", b.L.String(), b.Op, b.R.String())
+}
+func (a IArr) String() string {
+	var sb strings.Builder
+	sb.WriteString(a.Array)
+	for _, ix := range a.Idx {
+		fmt.Fprintf(&sb, "[%s]", ix.String())
+	}
+	return sb.String()
 }
 
 // Convenience constructors for index expressions.
@@ -66,6 +87,9 @@ func Isub(l, r IExpr) IExpr { return IBin{'-', l, r} }
 
 // Imul returns l * r.
 func Imul(l, r IExpr) IExpr { return IBin{'*', l, r} }
+
+// Ia returns a data-array index read (truncated toward zero).
+func Ia(array string, idx ...IExpr) IExpr { return IArr{Array: array, Idx: idx} }
 
 // ---------------------------------------------------------------------------
 // Data expressions (float64)
@@ -225,6 +249,10 @@ func (p *Program) Array(name string) *ArrayDecl {
 // names are unique, every referenced array is declared with matching rank,
 // every variable in an index expression is a parameter or an enclosing loop
 // variable, and loop variables do not shadow parameters or each other.
+// Data-dependent indexing carries two extra rules: IArr may not appear in
+// array dimension declarations, and an array read through IArr anywhere
+// must never be written (the dependence analysis does not trace values, so
+// soundness requires index arrays to be read-only).
 func (p *Program) Validate() error {
 	seen := map[string]bool{}
 	for _, prm := range p.Params {
@@ -245,13 +273,103 @@ func (p *Program) Validate() error {
 			return fmt.Errorf("%s: array %q has no dimensions", p.Name, a.Name)
 		}
 		for _, d := range a.Dims {
-			if err := p.checkIVars(d, nil); err != nil {
+			if err := p.checkIVars(d, nil, nil); err != nil {
 				return fmt.Errorf("%s: array %q dims: %v", p.Name, a.Name, err)
 			}
 		}
 		arrays[a.Name] = len(a.Dims)
 	}
-	return p.validateStmts(p.Body, nil, arrays)
+	if err := p.validateStmts(p.Body, nil, arrays); err != nil {
+		return err
+	}
+	idxRead := map[string]bool{}
+	collectIArrStmts(p.Body, idxRead)
+	return p.checkIdxWrites(p.Body, idxRead)
+}
+
+// collectIArrStmts records every array name read through an IArr index
+// expression anywhere in the statement list.
+func collectIArrStmts(stmts []Stmt, set map[string]bool) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Loop:
+			collectIArrIdx(s.Lo, set)
+			collectIArrIdx(s.Hi, set)
+			if s.BreakIf != nil {
+				collectIArrExpr(s.BreakIf.L, set)
+				collectIArrExpr(s.BreakIf.R, set)
+			}
+			collectIArrStmts(s.Body, set)
+		case *Assign:
+			for _, ix := range s.LHS.Idx {
+				collectIArrIdx(ix, set)
+			}
+			collectIArrExpr(s.RHS, set)
+		case *If:
+			collectIArrExpr(s.Cond.L, set)
+			collectIArrExpr(s.Cond.R, set)
+			collectIArrStmts(s.Then, set)
+			collectIArrStmts(s.Else, set)
+		}
+	}
+}
+
+func collectIArrIdx(e IExpr, set map[string]bool) {
+	switch e := e.(type) {
+	case IBin:
+		collectIArrIdx(e.L, set)
+		collectIArrIdx(e.R, set)
+	case IArr:
+		set[e.Array] = true
+		for _, ix := range e.Idx {
+			collectIArrIdx(ix, set)
+		}
+	}
+}
+
+func collectIArrExpr(e Expr, set map[string]bool) {
+	switch e := e.(type) {
+	case Ref:
+		for _, ix := range e.Idx {
+			collectIArrIdx(ix, set)
+		}
+	case Bin:
+		collectIArrExpr(e.L, set)
+		collectIArrExpr(e.R, set)
+	}
+}
+
+// UsesIArr reports whether the statement list contains any data-dependent
+// IArr index read — the property that routes a program to data-aware cost
+// accounting and the interpreter execution tier.
+func UsesIArr(stmts []Stmt) bool {
+	set := map[string]bool{}
+	collectIArrStmts(stmts, set)
+	return len(set) > 0
+}
+
+// checkIdxWrites rejects assignments to arrays that are read through IArr.
+func (p *Program) checkIdxWrites(stmts []Stmt, idxRead map[string]bool) error {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Loop:
+			if err := p.checkIdxWrites(s.Body, idxRead); err != nil {
+				return err
+			}
+		case *Assign:
+			if idxRead[s.LHS.Array] {
+				return fmt.Errorf("%s: array %q is read as an index and must be read-only", p.Name, s.LHS.Array)
+			}
+		case *If:
+			if err := p.checkIdxWrites(s.Then, idxRead); err != nil {
+				return err
+			}
+			if err := p.checkIdxWrites(s.Else, idxRead); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func (p *Program) validateStmts(stmts []Stmt, loopVars []string, arrays map[string]int) error {
@@ -268,10 +386,10 @@ func (p *Program) validateStmts(stmts []Stmt, loopVars []string, arrays map[stri
 					return fmt.Errorf("%s: loop variable %q shadows a parameter", p.Name, s.Var)
 				}
 			}
-			if err := p.checkIVars(s.Lo, loopVars); err != nil {
+			if err := p.checkIVars(s.Lo, loopVars, arrays); err != nil {
 				return fmt.Errorf("%s: loop %q lower bound: %v", p.Name, s.Var, err)
 			}
-			if err := p.checkIVars(s.Hi, loopVars); err != nil {
+			if err := p.checkIVars(s.Hi, loopVars, arrays); err != nil {
 				return fmt.Errorf("%s: loop %q upper bound: %v", p.Name, s.Var, err)
 			}
 			if s.BreakIf != nil {
@@ -332,7 +450,7 @@ func (p *Program) checkRef(r Ref, loopVars []string, arrays map[string]int) erro
 		return fmt.Errorf("%s: array %q has rank %d but is indexed with %d subscripts", p.Name, r.Array, rank, len(r.Idx))
 	}
 	for _, ix := range r.Idx {
-		if err := p.checkIVars(ix, loopVars); err != nil {
+		if err := p.checkIVars(ix, loopVars, arrays); err != nil {
 			return fmt.Errorf("%s: subscript of %q: %v", p.Name, r.Array, err)
 		}
 	}
@@ -360,7 +478,10 @@ func (p *Program) checkExpr(e Expr, loopVars []string, arrays map[string]int) er
 	}
 }
 
-func (p *Program) checkIVars(e IExpr, loopVars []string) error {
+// checkIVars validates an index expression. arrays is the declared-array
+// rank table; nil means IArr is not allowed in this position (array
+// dimension declarations, which are evaluated before any data exists).
+func (p *Program) checkIVars(e IExpr, loopVars []string, arrays map[string]int) error {
 	switch e := e.(type) {
 	case ICon:
 		return nil
@@ -383,10 +504,27 @@ func (p *Program) checkIVars(e IExpr, loopVars []string) error {
 		default:
 			return fmt.Errorf("bad index op %q", string(e.Op))
 		}
-		if err := p.checkIVars(e.L, loopVars); err != nil {
+		if err := p.checkIVars(e.L, loopVars, arrays); err != nil {
 			return err
 		}
-		return p.checkIVars(e.R, loopVars)
+		return p.checkIVars(e.R, loopVars, arrays)
+	case IArr:
+		if arrays == nil {
+			return fmt.Errorf("array read %q not allowed here", e.Array)
+		}
+		rank, ok := arrays[e.Array]
+		if !ok {
+			return fmt.Errorf("index read of undeclared array %q", e.Array)
+		}
+		if len(e.Idx) != rank {
+			return fmt.Errorf("index read of %q: rank %d indexed with %d subscripts", e.Array, rank, len(e.Idx))
+		}
+		for _, ix := range e.Idx {
+			if err := p.checkIVars(ix, loopVars, arrays); err != nil {
+				return err
+			}
+		}
+		return nil
 	default:
 		return fmt.Errorf("unknown index expression type %T", e)
 	}

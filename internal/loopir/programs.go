@@ -1,5 +1,7 @@
 package loopir
 
+import "math"
+
 // Program library: the routines the paper uses as running examples (Table 1:
 // matrix multiplication, successive overrelaxation, LU decomposition), plus
 // additional loop nests used by the extended test suite and examples.
@@ -21,6 +23,27 @@ func hashInit(salt uint64, idx []int) float64 {
 
 func saltedInit(salt uint64) InitFn {
 	return func(idx []int) float64 { return hashInit(salt, idx) }
+}
+
+// powRowsInit yields block-correlated power-law row lengths in [0,64):
+// floor(64·h⁴) of a hash of the 32-row block index. The fourth power skews
+// the distribution (most rows short, a few blocks long), and hashing the
+// block index rather than the row makes the skew spatially correlated, so
+// contiguous ownership ranges really do differ in weight.
+func powRowsInit(salt uint64) InitFn {
+	return func(idx []int) float64 {
+		h := hashInit(salt, []int{idx[0] / 32})
+		v := h * h
+		v *= v
+		return math.Floor(64 * v)
+	}
+}
+
+// bandInit yields integer band offsets in [-32,32): floor(64·h) − 32.
+func bandInit(salt uint64) InitFn {
+	return func(idx []int) float64 {
+		return math.Floor(64*hashInit(salt, idx)) - 32
+	}
 }
 
 // MatMul builds C = A·B over n×n matrices:
@@ -329,10 +352,72 @@ func Axpy() *Program {
 	}
 }
 
+// SpMV is a sparse matrix–vector product in banded ELL form, the first
+// irregular workload: row i holds rowlen[i] stored entries (a power-law,
+// block-correlated length read through a data-dependent loop bound) whose
+// column indices are i + ofs[i][k] for band offsets in [-32,32). The row
+// loop skips 32 rows at each edge so every band access stays in range.
+// Per-row cost varies by a factor of ~64, which is exactly what the
+// uniform-unit balancer cannot see; only the output vector y is
+// distributed, so work movement is cheap relative to the imbalance.
+func SpMV() *Program {
+	n := Iv("n")
+	i, k := Iv("i"), Iv("k")
+	return &Program{
+		Name:   "spmv",
+		Params: []string{"n", "maxiter"},
+		Arrays: []*ArrayDecl{
+			{Name: "val", Dims: []IExpr{n, Ic(64)}, Init: saltedInit(21), InitSpec: "hash(21)"},
+			{Name: "ofs", Dims: []IExpr{n, Ic(64)}, Init: bandInit(22), InitSpec: "band(22)"},
+			{Name: "rowlen", Dims: []IExpr{n}, Init: powRowsInit(23), InitSpec: "powrows(23)"},
+			{Name: "x", Dims: []IExpr{n}, Init: saltedInit(24), InitSpec: "hash(24)"},
+			{Name: "y", Dims: []IExpr{n}}, // zero
+		},
+		Body: []Stmt{
+			For("iter", Ic(0), Iv("maxiter"),
+				For("i", Ic(32), Isub(n, Ic(32)),
+					Set(Fref("y", i), Fc(0)),
+					For("k", Ic(0), Ia("rowlen", i),
+						Set(Fref("y", i),
+							Fadd(Fref("y", i),
+								Fmul(Fref("val", i, k),
+									Fref("x", Iadd(i, Ia("ofs", i, k))))))))),
+		},
+	}
+}
+
+// PBin is a seeded power-law particle-binning interaction: bin i holds
+// cnt[i] particles and accumulates all cnt[i]² pairwise products. The
+// quadratic dependence on the data-dependent count makes per-bin cost vary
+// by two orders of magnitude — the second irregular workload.
+func PBin() *Program {
+	n := Iv("n")
+	i, k, l := Iv("i"), Iv("k"), Iv("l")
+	return &Program{
+		Name:   "pbin",
+		Params: []string{"n", "maxiter"},
+		Arrays: []*ArrayDecl{
+			{Name: "cnt", Dims: []IExpr{n}, Init: powRowsInit(25), InitSpec: "powrows(25)"},
+			{Name: "px", Dims: []IExpr{n, Ic(64)}, Init: saltedInit(26), InitSpec: "hash(26)"},
+			{Name: "f", Dims: []IExpr{n}}, // zero
+		},
+		Body: []Stmt{
+			For("iter", Ic(0), Iv("maxiter"),
+				For("i", Ic(0), n,
+					Set(Fref("f", i), Fc(0)),
+					For("k", Ic(0), Ia("cnt", i),
+						For("l", Ic(0), Ia("cnt", i),
+							Set(Fref("f", i),
+								Fadd(Fref("f", i),
+									Fmul(Fref("px", i, k), Fref("px", i, l)))))))),
+		},
+	}
+}
+
 // Library returns all built-in programs keyed by name.
 func Library() map[string]*Program {
 	out := map[string]*Program{}
-	for _, p := range []*Program{MatMul(), SOR(), LU(), Jacobi(), JacobiConverge(), Jacobi3D(), ThresholdRelax(), Axpy(), PeriodicSOR()} {
+	for _, p := range []*Program{MatMul(), SOR(), LU(), Jacobi(), JacobiConverge(), Jacobi3D(), ThresholdRelax(), Axpy(), PeriodicSOR(), SpMV(), PBin()} {
 		out[p.Name] = p
 	}
 	return out

@@ -176,6 +176,7 @@ func specFromConfig(cfg dlb.Config, grain int, hbEvery time.Duration) wire.RunSp
 		Synchronous:        cfg.Synchronous,
 		Cores:              cfg.Cores,
 		Kernel:             cfg.Kernel,
+		CostModel:          cfg.CostModel,
 		Groups:             cfg.Groups,
 		GroupExchangeEvery: cfg.GroupExchangeEvery,
 		GroupDiffusion:     cfg.GroupDiffusion,
@@ -207,6 +208,7 @@ func configFromSpec(spec wire.RunSpec) (dlb.Config, error) {
 		Synchronous:        spec.Synchronous,
 		Cores:              spec.Cores,
 		Kernel:             spec.Kernel,
+		CostModel:          spec.CostModel,
 		Groups:             spec.Groups,
 		GroupExchangeEvery: spec.GroupExchangeEvery,
 		GroupDiffusion:     spec.GroupDiffusion,

@@ -76,6 +76,10 @@ type JobSpec struct {
 	// bit-identical; "aot" pays a one-time toolchain build per program,
 	// cached on disk across jobs.
 	Kernel string `json:"kernel,omitempty"`
+	// CostModel selects the balancer's view of work units ("uniform" or
+	// "learned"; empty: "uniform"). Learned weighting helps irregular
+	// programs (sparse rows, power-law bins) balance on measured cost.
+	CostModel string `json:"cost_model,omitempty"`
 	// Groups partitions the slaves for hierarchical two-level balancing
 	// (0 or 1: flat). The service may cap it (-groups on dlbsvc).
 	Groups int `json:"groups,omitempty"`
@@ -101,6 +105,9 @@ func (s *JobSpec) normalize() error {
 		return fmt.Errorf("svc: negative group count %d", s.Groups)
 	}
 	if _, err := (dlb.Config{Kernel: s.Kernel}).KernelTier(); err != nil {
+		return fmt.Errorf("svc: %w", err)
+	}
+	if _, err := (dlb.Config{CostModel: s.CostModel}).CostModelMode(); err != nil {
 		return fmt.Errorf("svc: %w", err)
 	}
 	return nil

@@ -65,7 +65,7 @@ func specKey(spec JobSpec) string {
 	for _, l := range spec.DistLoops {
 		fmt.Fprintf(h, "loop %s\n", l)
 	}
-	fmt.Fprintf(h, "slaves=%d sync=%v cores=%d groups=%d kernel=%s\n", spec.Slaves, spec.Synchronous, spec.Cores, spec.Groups, spec.Kernel)
+	fmt.Fprintf(h, "slaves=%d sync=%v cores=%d groups=%d kernel=%s costmodel=%s\n", spec.Slaves, spec.Synchronous, spec.Cores, spec.Groups, spec.Kernel, spec.CostModel)
 	return hex.EncodeToString(h.Sum(nil))[:24]
 }
 

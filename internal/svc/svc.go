@@ -67,6 +67,11 @@ type Options struct {
 	// Kernel always wins; all tiers are bit-identical, so the choice is
 	// purely about speed versus toolchain availability on the host.
 	Kernel string
+	// CostModel is the default balancer cost model for jobs that do not
+	// name one ("" keeps dlb's own default, uniform). A job's explicit
+	// CostModel always wins. Unlike Kernel this changes schedules (that
+	// is its purpose), but never results.
+	CostModel string
 	// Timeouts bounds each run's transport operations.
 	Timeouts netrun.Timeouts
 	// Logf receives service events (nil: silent).
@@ -139,6 +144,7 @@ func (s *Service) cfgFor(plan *compile.Plan, spec JobSpec) dlb.Config {
 		Synchronous: spec.Synchronous,
 		Cores:       spec.Cores,
 		Kernel:      spec.Kernel,
+		CostModel:   spec.CostModel,
 		Groups:      spec.Groups,
 		RealQuantum: s.opt.RealQuantum,
 		Fault:       &fault.Plan{},
@@ -153,6 +159,9 @@ func (s *Service) cfgFor(plan *compile.Plan, spec JobSpec) dlb.Config {
 func (s *Service) Warm(spec JobSpec) error {
 	if spec.Kernel == "" {
 		spec.Kernel = s.opt.Kernel
+	}
+	if spec.CostModel == "" {
+		spec.CostModel = s.opt.CostModel
 	}
 	if err := spec.normalize(); err != nil {
 		return err
@@ -171,6 +180,9 @@ func (s *Service) Warm(spec JobSpec) error {
 func (s *Service) Submit(spec JobSpec) (string, error) {
 	if spec.Kernel == "" {
 		spec.Kernel = s.opt.Kernel
+	}
+	if spec.CostModel == "" {
+		spec.CostModel = s.opt.CostModel
 	}
 	if err := spec.normalize(); err != nil {
 		return "", err
