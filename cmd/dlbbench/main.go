@@ -9,7 +9,7 @@
 //	dlbbench -out results/    # write <name>.txt (and fig9.csv) files
 //
 // Experiments: table1 fig5 fig6 fig7 fig8 fig9 pipeline grain refinements
-// lu baselines hetero fault net svc plane kernel scale irregular
+// lu baselines hetero fault net svc plane kernel scale irregular overlap
 package main
 
 import (
@@ -35,7 +35,7 @@ type artifact struct {
 }
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run (table1, fig5..fig9, pipeline, grain, refinements, lu, baselines, hetero, fault, net, svc, plane, kernel, scale, irregular, all)")
+	which := flag.String("exp", "all", "experiment to run (table1, fig5..fig9, pipeline, grain, refinements, lu, baselines, hetero, fault, net, svc, plane, kernel, scale, irregular, overlap, all)")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	out := flag.String("out", "", "directory to write artifacts to (default: stdout)")
 	flag.Parse()
@@ -191,6 +191,19 @@ func main() {
 			content: exp.RenderIrregular(rep),
 			extra: map[string]string{
 				"BENCH_irregular.json": exp.IrregularJSON(rep),
+			},
+		})
+	}
+	if want("overlap") {
+		rep, err := exp.Overlap(scale)
+		if err != nil {
+			fail(err)
+		}
+		artifacts = append(artifacts, artifact{
+			name:    "overlap",
+			content: exp.RenderOverlap(rep),
+			extra: map[string]string{
+				"BENCH_overlap.json": exp.OverlapJSON(rep),
 			},
 		})
 	}

@@ -89,6 +89,7 @@ func main() {
 	cores := flag.Int("cores", 0, "kernel worker goroutines per slave (0/1: sequential, -1: all hardware cores)")
 	kernel := flag.String("kernel", "", `execution tier for distributed-loop bodies: "interp", "kernel" (default) or "aot"`)
 	costModel := flag.String("costmodel", "", `balancer's view of work units: "uniform" (default) or "learned" (per-unit costs measured online)`)
+	overlap := flag.Bool("overlap", true, "overlap eligible ghost exchanges with interior computation (-overlap=false forces synchronous exchanges)")
 	groups := flag.Int("groups", 0, "hierarchical balancing: partition slaves into this many leader-led groups (0/1: flat)")
 	groupEvery := flag.Int("group-every", 0, "inter-group diffusive exchange cadence in balancing rounds (0: default 4)")
 	groupAlpha := flag.Float64("group-alpha", 0, "diffusion under-relaxation factor in (0,1] (0: default 0.5)")
@@ -186,6 +187,9 @@ func main() {
 		GroupDiffusion:     *groupAlpha,
 		PerReportCost:      *reportCost,
 		CollectTrace:       *showTrace,
+	}
+	if !*overlap {
+		cfg.Overlap = dlb.OverlapDisabled
 	}
 	if *faultSpec != "" {
 		fp, err := fault.ParseSpec(*faultSpec)

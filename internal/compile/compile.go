@@ -100,6 +100,7 @@ func Compile(prog *loopir.Program, opts Options) (*Plan, error) {
 	if c.hookID == 0 {
 		return nil, fmt.Errorf("compile: %s has no loop enclosing the distributed loop to host a hook", prog.Name)
 	}
+	c.markOverlap(steps)
 
 	var replicated []string
 	for _, a := range prog.Arrays {
@@ -1012,6 +1013,150 @@ func (c *compiler) placeExchanges(steps []Step) error {
 		return fmt.Errorf("compile: exchange carrier loop %q not found in generated code", carrier)
 	}
 	return nil
+}
+
+// markOverlap decides, per ghost exchange, whether the runtime may overlap
+// it with its consumer's interior compute: post the sends, run the units
+// whose stencil reads cannot touch a ghost, receive, then run the ≤|delta|
+// boundary units at each run edge. An exchange group (the contiguous
+// Exchange steps at one program point) is marked atomically — exchanges on
+// the same array share one message tag, so a half-async group could steal
+// each other's in-flight slices. The consumer is the next OwnedLoop,
+// looking through replicated-only statements (which touch no distributed
+// state and involve no communication); any other intervening step kills
+// eligibility. The decision is recorded in the rendered plan source, so it
+// participates in the cross-process plan hash.
+func (c *compiler) markOverlap(steps []Step) {
+	var walk func(ss []Step)
+	walk = func(ss []Step) {
+		for i := 0; i < len(ss); i++ {
+			switch s := ss[i].(type) {
+			case *SeqLoop:
+				walk(s.Body)
+			case *StripLoop:
+				// Pipelined strips never carry exchanges (placeExchanges
+				// guarantees it); walk for nested sequential loops only.
+				walk(s.Body)
+			case *Exchange:
+				group := []*Exchange{s}
+				j := i + 1
+				for ; j < len(ss); j++ {
+					ex, ok := ss[j].(*Exchange)
+					if !ok {
+						break
+					}
+					group = append(group, ex)
+				}
+				var consumer *OwnedLoop
+				for k := j; k < len(ss); k++ {
+					if _, ok := ss[k].(*AllStmts); ok {
+						continue
+					}
+					consumer, _ = ss[k].(*OwnedLoop)
+					break
+				}
+				if consumer != nil && c.overlapEligible(group, consumer) {
+					for _, ex := range group {
+						ex.Carrier = consumer
+						ex.Overlap = true
+					}
+				}
+				i = j - 1
+			}
+		}
+	}
+	walk(steps)
+}
+
+// overlapEligible checks the split-loop safety conditions for one exchange
+// group against its consuming loop.
+func (c *compiler) overlapEligible(group []*Exchange, l *OwnedLoop) bool {
+	// Unit-stride deltas only: the runtime peels exactly one unit per run
+	// edge into the boundary region.
+	for _, ex := range group {
+		if ex.Delta != 1 && ex.Delta != -1 {
+			return false
+		}
+	}
+
+	writes := map[string]bool{}
+	readDeltas := map[string]map[int]bool{}
+	replWrite := false
+	var scanStmts func(ss []loopir.Stmt)
+	var scanExpr func(e loopir.Expr)
+	scanExpr = func(e loopir.Expr) {
+		switch e := e.(type) {
+		case loopir.Ref:
+			dim, distributed := c.spec.Dims[e.Array]
+			if !distributed {
+				return
+			}
+			lf, err := depend.Linearize(e.Idx[dim], c.isParam)
+			if err != nil {
+				return
+			}
+			if coeff, uses := lf.Vars[l.Var]; uses && coeff == 1 && len(lf.Vars) == 1 && len(lf.Params) == 0 {
+				if readDeltas[e.Array] == nil {
+					readDeltas[e.Array] = map[int]bool{}
+				}
+				readDeltas[e.Array][lf.Const] = true
+			}
+			// Loop-invariant subscripts are broadcast-fed before the loop
+			// and order-independent: they do not affect eligibility.
+		case loopir.Bin:
+			scanExpr(e.L)
+			scanExpr(e.R)
+		}
+	}
+	scanStmts = func(ss []loopir.Stmt) {
+		for _, st := range ss {
+			switch st := st.(type) {
+			case *loopir.Loop:
+				scanStmts(st.Body)
+			case *loopir.Assign:
+				scanExpr(st.RHS)
+				if _, distributed := c.spec.Dims[st.LHS.Array]; distributed {
+					writes[st.LHS.Array] = true
+				} else {
+					replWrite = true
+				}
+			case *loopir.If:
+				scanExpr(st.Cond.L)
+				scanExpr(st.Cond.R)
+				scanStmts(st.Then)
+				scanStmts(st.Else)
+			}
+		}
+	}
+	scanStmts(l.Body)
+
+	// Reduction (replicated) accumulations fold in ascending unit order;
+	// running interior before boundary would change the floating-point
+	// accumulation order across the split.
+	if replWrite {
+		return false
+	}
+	// In-place stencils — the loop writes an array it also reads at a
+	// neighbor offset — depend on the ascending execution order for which
+	// sweep's values an edge unit observes.
+	for arr, deltas := range readDeltas {
+		if !writes[arr] {
+			continue
+		}
+		for d := range deltas {
+			if d != 0 {
+				return false
+			}
+		}
+	}
+	// Every exchange in the group must feed this loop; a ghost refreshed
+	// for a later consumer must not be delayed past unrelated compute.
+	for _, ex := range group {
+		if !readDeltas[ex.Array][ex.Delta] {
+			return false
+		}
+	}
+	return true
 }
 
 // placeHooks appends a candidate Hook at the end of every sequential loop

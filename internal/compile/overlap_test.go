@@ -1,0 +1,152 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/depend"
+	"repro/internal/loopir"
+)
+
+// collectExchanges gathers every Exchange step in program order.
+func collectExchanges(steps []Step) []*Exchange {
+	var out []*Exchange
+	var walk func(ss []Step)
+	walk = func(ss []Step) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *SeqLoop:
+				walk(s.Body)
+			case *StripLoop:
+				walk(s.Pre)
+				walk(s.Body)
+				walk(s.Post)
+			case *Exchange:
+				out = append(out, s)
+			}
+		}
+	}
+	walk(steps)
+	return out
+}
+
+// TestOverlapLibraryEligibility pins down, per library program, which ghost
+// exchanges the compiler marks split-loop eligible. Jacobi-family programs
+// (exchange directly feeding a pure stencil loop) must be eligible; the
+// pipelined programs (sor, threshold-relax) and periodic-sor (exchange
+// consumed through owner blocks) must not.
+func TestOverlapLibraryEligibility(t *testing.T) {
+	specs := map[string]depend.DistSpec{
+		"mm":              specMM(),
+		"sor":             specSOR(),
+		"lu":              specLU(),
+		"jacobi":          specJacobi(),
+		"axpy":            {Dims: map[string]int{"x": 0, "y": 0}, Loops: []string{"i"}},
+		"threshold-relax": {Dims: map[string]int{"v": 1}, Loops: []string{"j"}},
+		"periodic-sor":    {Dims: map[string]int{"b": 0}, Loops: []string{"j"}},
+		"jacobi-converge": {Dims: map[string]int{"a": 0, "anew": 0}, Loops: []string{"i", "i2"}},
+		"jacobi3d":        {Dims: map[string]int{"u": 0, "unew": 0}, Loops: []string{"i", "i2"}},
+	}
+	// Programs with at least one overlap-eligible exchange.
+	wantEligible := map[string]bool{
+		"jacobi":          true,
+		"jacobi-converge": true,
+		"jacobi3d":        true,
+	}
+	for name, prog := range loopir.Library() {
+		p, err := Compile(prog, Options{Dist: specs[name]})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		exs := collectExchanges(p.Steps)
+		eligible := 0
+		for _, ex := range exs {
+			if ex.Overlap != (ex.Carrier != nil) {
+				t.Errorf("%s: exchange %s%+d has Overlap=%v but Carrier=%v",
+					name, ex.Array, ex.Delta, ex.Overlap, ex.Carrier)
+			}
+			if ex.Overlap {
+				eligible++
+			}
+		}
+		if wantEligible[name] {
+			if eligible == 0 || eligible != len(exs) {
+				t.Errorf("%s: %d/%d exchanges eligible, want all", name, eligible, len(exs))
+			}
+			if !strings.Contains(p.Source, "overlap: split-loop eligible") {
+				t.Errorf("%s: eligibility missing from rendered source (plan hash would not record it)", name)
+			}
+		} else {
+			if eligible != 0 {
+				t.Errorf("%s: %d exchanges eligible, want none", name, eligible)
+			}
+			if strings.Contains(p.Source, "overlap: split-loop eligible") {
+				t.Errorf("%s: rendered source claims eligibility", name)
+			}
+		}
+	}
+}
+
+// TestOverlapCarrierIsConsumingLoop asserts the marked carrier is the loop
+// that actually reads the ghosts — for jacobi-converge, the anew stencil
+// loop (Var "i"), not the copy-back/reduction loop (Var "i2").
+func TestOverlapCarrierIsConsumingLoop(t *testing.T) {
+	p := mustCompile(t, loopir.JacobiConverge(),
+		Options{Dist: depend.DistSpec{Dims: map[string]int{"a": 0, "anew": 0}, Loops: []string{"i", "i2"}}})
+	exs := collectExchanges(p.Steps)
+	if len(exs) != 2 {
+		t.Fatalf("exchanges = %d, want 2", len(exs))
+	}
+	for _, ex := range exs {
+		if ex.Carrier == nil || ex.Carrier.Var != "i" {
+			var v string
+			if ex.Carrier != nil {
+				v = ex.Carrier.Var
+			}
+			t.Errorf("exchange %s%+d carrier var = %q, want \"i\"", ex.Array, ex.Delta, v)
+		}
+	}
+	if exs[0].Carrier != exs[1].Carrier {
+		t.Error("exchange group must share one carrier loop")
+	}
+}
+
+// TestOverlapIneligibleReductionCarrier: a stencil whose consuming loop
+// accumulates into a replicated reduction array must stay synchronous —
+// splitting the loop would reorder the floating-point accumulation.
+func TestOverlapIneligibleReductionCarrier(t *testing.T) {
+	n := loopir.Iv("n")
+	i, j := loopir.Iv("i"), loopir.Iv("j")
+	prog := &loopir.Program{
+		Name:   "ghost-reduce",
+		Params: []string{"n", "maxiter"},
+		Arrays: []*loopir.ArrayDecl{
+			{Name: "a", Dims: []loopir.IExpr{n, n}},
+			{Name: "r", Dims: []loopir.IExpr{loopir.Ic(1)}},
+		},
+		Body: []loopir.Stmt{
+			loopir.For("iter", loopir.Ic(0), loopir.Iv("maxiter"),
+				loopir.For("i", loopir.Ic(1), loopir.Isub(n, loopir.Ic(1)),
+					loopir.For("j", loopir.Ic(1), loopir.Isub(n, loopir.Ic(1)),
+						loopir.Set(loopir.Fref("r", loopir.Ic(0)),
+							loopir.Fadd(loopir.Fref("r", loopir.Ic(0)),
+								loopir.Fmul(
+									loopir.Fref("a", loopir.Isub(i, loopir.Ic(1)), j),
+									loopir.Fref("a", loopir.Iadd(i, loopir.Ic(1)), j)))))),
+				loopir.For("i2", loopir.Ic(1), loopir.Isub(n, loopir.Ic(1)),
+					loopir.For("j2", loopir.Ic(1), loopir.Isub(n, loopir.Ic(1)),
+						loopir.Set(loopir.Fref("a", loopir.Iv("i2"), loopir.Iv("j2")),
+							loopir.Fmul(loopir.Fc(0.5), loopir.Fref("a", loopir.Iv("i2"), loopir.Iv("j2"))))))),
+		},
+	}
+	p := mustCompile(t, prog, Options{Dist: depend.DistSpec{Dims: map[string]int{"a": 0}, Loops: []string{"i", "i2"}}})
+	exs := collectExchanges(p.Steps)
+	if len(exs) == 0 {
+		t.Fatal("expected ghost exchanges for a[i-1]/a[i+1] reads")
+	}
+	for _, ex := range exs {
+		if ex.Overlap || ex.Carrier != nil {
+			t.Errorf("exchange %s%+d marked eligible despite reduction in carrier", ex.Array, ex.Delta)
+		}
+	}
+}

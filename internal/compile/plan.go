@@ -87,9 +87,22 @@ type AllStmts struct {
 // of unit u+Delta observe the previous sweep's values. In a block
 // distribution this is the classic neighbor ghost exchange (the paper's
 // sweep-start send/receive in Figure 3a).
+//
+// When Overlap is set the exchange is split-loop eligible: Carrier points
+// at the distributed loop that consumes the ghosts, and the runtime may
+// post the sends, compute the carrier's interior units (whose stencil reads
+// cannot touch a ghost), receive, and finish with the ≤|Delta| boundary
+// units at each edge of every contiguous owned run — hiding the network
+// round-trip behind interior compute. Eligibility is decided at compile
+// time (markOverlap) and recorded in the rendered plan source, so it enters
+// the plan hash; ineligible exchanges (no directly following consumer,
+// reduction writes in the carrier, in-place stencils) keep Carrier nil and
+// always run synchronously.
 type Exchange struct {
-	Array string
-	Delta int // read offset on the distributed dimension (non-zero)
+	Array   string
+	Delta   int        // read offset on the distributed dimension (non-zero)
+	Carrier *OwnedLoop // consuming loop when split-eligible; nil otherwise
+	Overlap bool       // true: the runtime may overlap this exchange
 }
 
 // PipeRecv receives, for the current strip block, the rows of the ghost

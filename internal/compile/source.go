@@ -75,7 +75,11 @@ func renderSteps(sb *strings.Builder, steps []Step, depth int) {
 			loopir.RenderStmts(&body, s.Body, depth)
 			sb.WriteString(body.String())
 		case *Exchange:
-			fmt.Fprintf(sb, "%sexchange_ghost(%s, delta=%+d);   /* old boundary values */\n", ind, s.Array, s.Delta)
+			note := "old boundary values"
+			if s.Overlap {
+				note = "old boundary values; overlap: split-loop eligible"
+			}
+			fmt.Fprintf(sb, "%sexchange_ghost(%s, delta=%+d);   /* %s */\n", ind, s.Array, s.Delta, note)
 		case *PipeRecv:
 			fmt.Fprintf(sb, "%sif (pid != first) recv_pipeline(%s, delta=%+d, rows=block);\n", ind, s.Array, s.Delta)
 		case *PipeSend:

@@ -32,6 +32,14 @@ type StatusMsg struct {
 	AotUnits      int64
 	KernelUnits   int64
 	FallbackUnits int64
+	// Overlap accounting (engine counters overlap_rounds /
+	// overlap_fallback): owned-loop executions that ran the split
+	// interior/boundary schedule with ghost receives deferred past the
+	// interior pass, and eligible exchange rounds that ended up effectively
+	// synchronous at run time (drained with no interior work, or abandoned
+	// by an epoch restart).
+	OverlapRounds   int64
+	OverlapFallback int64
 	// CostBlocks summarizes the measured per-unit cost of the work this
 	// report covers (learned cost model; nil under the uniform model).
 	// Ranges are clamped to maxCostBlocks entries per report.

@@ -108,6 +108,17 @@ type Config struct {
 	// counts. Dense programs produce uniform measurements and stay
 	// bit-identical to the uniform mode.
 	CostModel string
+	// Overlap gates the split-loop async ghost exchange: for exchanges the
+	// compiler marked split-loop eligible, slaves post the ghost sends,
+	// compute the interior units (whose stencil reads cannot touch a
+	// ghost), receive, and finish with the boundary units — hiding the
+	// network round-trip behind interior compute. "" or "on" enables it
+	// (the default), "off" forces every exchange synchronous. Results,
+	// schedules and ownership are bit-identical either way; only elapsed
+	// time differs. The knob does not enter the plan hash — eligibility is
+	// recorded in the rendered plan source, the knob only gates the
+	// runtime.
+	Overlap string
 	// CollectTrace records per-phase rate/work samples (Figure 9).
 	CollectTrace bool
 	// RealQuantum is the grain-sizing target quantum for RunReal (default
@@ -200,6 +211,25 @@ func (c Config) CostModelMode() (string, error) {
 	}
 	return "", fmt.Errorf("dlb: unknown cost model %q (want %q or %q)",
 		c.CostModel, CostUniform, CostLearned)
+}
+
+// Overlap modes for the split-loop async ghost exchange.
+const (
+	OverlapEnabled  = "on"
+	OverlapDisabled = "off"
+)
+
+// OverlapOn resolves the Overlap knob ("" means on) or returns an error
+// naming the valid modes.
+func (c Config) OverlapOn() (bool, error) {
+	switch c.Overlap {
+	case "", OverlapEnabled:
+		return true, nil
+	case OverlapDisabled:
+		return false, nil
+	}
+	return false, fmt.Errorf("dlb: unknown overlap mode %q (want %q or %q)",
+		c.Overlap, OverlapEnabled, OverlapDisabled)
 }
 
 // CoreCount resolves the Cores knob to an effective worker count.
@@ -371,6 +401,9 @@ func Run(cfg Config, cc cluster.Config) (*Result, error) {
 		return nil, err
 	}
 	if _, err := cfg.CostModelMode(); err != nil {
+		return nil, err
+	}
+	if _, err := cfg.OverlapOn(); err != nil {
 		return nil, err
 	}
 	var bundle *aotBundle

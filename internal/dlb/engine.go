@@ -178,6 +178,8 @@ func (e *engine) noteDispatch(st StatusMsg) {
 	e.res.Counters.Add("aot_units", st.AotUnits)
 	e.res.Counters.Add("kernel_units", st.KernelUnits)
 	e.res.Counters.Add("fallback_units", st.FallbackUnits)
+	e.res.Counters.Add("overlap_rounds", st.OverlapRounds)
+	e.res.Counters.Add("overlap_fallback", st.OverlapFallback)
 }
 
 // handleRound runs the load-balancing decision for one complete round and

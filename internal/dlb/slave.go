@@ -72,7 +72,25 @@ type slave struct {
 	kernelUnits   int64 // units executed through compiled range kernels
 	fallbackUnits int64 // units executed through the lowered fallback
 
-	ownedCache  []int // sorted owned units; nil means rebuild
+	// Split-loop async ghost exchange (Config.Overlap): pending maps a
+	// carrier loop to the exchanges whose sends were posted but whose
+	// receives are deferred until after the carrier's interior pass.
+	// Entries only live between an Exchange step and the OwnedLoop that
+	// directly follows it (the compile-time carrier), so the map is empty
+	// across hooks, combines, and epoch restarts.
+	overlapOn       bool
+	pending         map[*compile.OwnedLoop][]*compile.Exchange
+	overlapRounds   int64
+	overlapFallback int64
+
+	ownedCache []int // sorted owned units; nil means rebuild
+	// Ghost-list caches, keyed by delta: ownership only changes at hooks
+	// (moves, deactivation, recovery — all funneled through
+	// invalidateOwned), so the per-iteration exchange and pipeline lists
+	// are reused until then.
+	needsCache    map[int][]int
+	suppliesCache map[int][]supply
+
 	hookVisit   int
 	nextContact int
 	phase       int
@@ -153,6 +171,13 @@ func (s *slave) runOn(ep Endpoint) {
 	if s.costOn {
 		s.costAcc = make([]float64, s.exec.Units)
 	}
+
+	on, err := s.cfg.OverlapOn()
+	if err != nil {
+		panic(fmt.Sprintf("slave%d: %v", s.id, err))
+	}
+	s.overlapOn = on
+	s.pending = map[*compile.OwnedLoop][]*compile.Exchange{}
 
 	s.env = map[string]int{}
 	for k, v := range s.exec.Params {
@@ -481,7 +506,38 @@ func (s *slave) owned() []int {
 	return s.ownedCache
 }
 
-func (s *slave) invalidateOwned() { s.ownedCache = nil }
+func (s *slave) invalidateOwned() {
+	s.ownedCache = nil
+	s.needsCache = nil
+	s.suppliesCache = nil
+}
+
+// ghostNeedsCached returns ghostNeeds(own, me, delta), memoized until the
+// next ownership or active-set change (invalidateOwned).
+func (s *slave) ghostNeedsCached(delta int) []int {
+	if n, ok := s.needsCache[delta]; ok {
+		return n
+	}
+	if s.needsCache == nil {
+		s.needsCache = map[int][]int{}
+	}
+	n := ghostNeeds(s.own, s.id, delta)
+	s.needsCache[delta] = n
+	return n
+}
+
+// ghostSuppliesCached is the supply-side twin of ghostNeedsCached.
+func (s *slave) ghostSuppliesCached(delta int) []supply {
+	if sp, ok := s.suppliesCache[delta]; ok {
+		return sp
+	}
+	if s.suppliesCache == nil {
+		s.suppliesCache = map[int][]supply{}
+	}
+	sp := ghostSupplies(s.own, s.id, delta)
+	s.suppliesCache[delta] = sp
+	return sp
+}
 
 func (s *slave) perUnitFlops(body []loopir.Stmt, distVar string, mid int) float64 {
 	local := map[string]int{}
@@ -500,6 +556,15 @@ func (s *slave) execOwned(st *compile.OwnedLoop) {
 	// failure detector (the more work a slave inherits, the longer its
 	// silent stretches — exactly when false eviction hurts most).
 	s.fault.heartbeat(s)
+	// Deferred ghost exchanges targeting this loop (split-loop overlap):
+	// their receives complete after the interior pass below. Every early
+	// return must still drain them — the ghost data is needed by later
+	// steps, and an unconsumed (sender, tag) mailbox would desequence the
+	// next exchange on the same array.
+	pend := s.pending[st]
+	if len(pend) > 0 {
+		delete(s.pending, st)
+	}
 	lo, hi := s.eval(st.Lo), s.eval(st.Hi)
 	if lo < 0 {
 		lo = 0
@@ -508,6 +573,7 @@ func (s *slave) execOwned(st *compile.OwnedLoop) {
 		hi = s.exec.Units
 	}
 	if hi <= lo {
+		s.drainPending(pend)
 		return
 	}
 	runs := contiguousRuns(s.owned(), lo, hi)
@@ -516,6 +582,7 @@ func (s *slave) execOwned(st *compile.OwnedLoop) {
 		count += r[1] - r[0]
 	}
 	if count == 0 {
+		s.drainPending(pend)
 		return
 	}
 	bind := map[string]int{}
@@ -556,8 +623,22 @@ func (s *slave) execOwned(st *compile.OwnedLoop) {
 	} else {
 		perUnit = s.perUnitFlops(st.Body, st.Var, lo+(hi-lo)/2)
 	}
+	// bw is the boundary width of the pending overlap: units within bw of a
+	// run edge may read a ghost and form the boundary region; everything
+	// deeper is interior and safe to compute before the receives complete.
+	bw := 0
+	for _, ex := range pend {
+		d := ex.Delta
+		if d < 0 {
+			d = -d
+		}
+		if d > bw {
+			bw = d
+		}
+	}
 	ws := make([]int, len(runs))
 	charge := 0.0
+	chargeInt := 0.0 // interior share of charge when splitting
 	flopSec := s.cfg.FlopCost.Seconds()
 	ui := 0
 	for i, r := range runs {
@@ -568,6 +649,9 @@ func (s *slave) execOwned(st *compile.OwnedLoop) {
 				runFlops += unitFlops[ui+k]
 			}
 		}
+		// Worker counts resolve on the FULL run even when splitting, so the
+		// per-unit cost attribution and the virtual charge sum match the
+		// synchronous schedule exactly.
 		w := 1
 		if rk != nil && s.cores > 1 && rk.ParallelSafe() && (ak == nil || ak.K.CanParallel()) {
 			w = s.cores
@@ -583,6 +667,18 @@ func (s *slave) execOwned(st *compile.OwnedLoop) {
 		}
 		ws[i] = w
 		charge += runFlops / float64(w)
+		if bw > 0 {
+			if ilo, ihi := r[0]+bw, r[1]-bw; ihi > ilo {
+				intFlops := perUnit * float64(ihi-ilo)
+				if iarr {
+					intFlops = 0
+					for u := ilo; u < ihi; u++ {
+						intFlops += unitFlops[ui+u-r[0]]
+					}
+				}
+				chargeInt += intFlops / float64(w)
+			}
+		}
 		if s.costOn {
 			for u := r[0]; u < r[1]; u++ {
 				f := perUnit
@@ -594,26 +690,66 @@ func (s *slave) execOwned(st *compile.OwnedLoop) {
 		}
 		ui += r[1] - r[0]
 	}
-	s.ep.Charge(time.Duration(charge * float64(s.cfg.FlopCost)))
+	total := time.Duration(charge * float64(s.cfg.FlopCost))
 
 	frag := s.frags[st]
-	s.ep.Timed(func() {
-		for i, r := range runs {
-			switch {
-			case ak != nil && ws[i] > 1:
-				ak.RunParallel(r[0], r[1], bind, ws[i])
-			case ak != nil:
-				ak.Run(r[0], r[1], bind)
-			case rk == nil:
-				bind[rangeLo], bind[rangeHi] = r[0], r[1]
-				frag.Run(bind)
-			case ws[i] > 1:
-				rk.RunParallel(r[0], r[1], bind, ws[i])
-			default:
-				rk.Run(r[0], r[1], bind)
-			}
+	runRange := func(rlo, rhi, w int) {
+		if rhi <= rlo {
+			return
 		}
-	})
+		switch {
+		case ak != nil && w > 1:
+			ak.RunParallel(rlo, rhi, bind, w)
+		case ak != nil:
+			ak.Run(rlo, rhi, bind)
+		case rk == nil:
+			bind[rangeLo], bind[rangeHi] = rlo, rhi
+			frag.Run(bind)
+		case w > 1:
+			rk.RunParallel(rlo, rhi, bind, w)
+		default:
+			rk.Run(rlo, rhi, bind)
+		}
+	}
+	if bw == 0 {
+		// Synchronous schedule (no deferred exchange): one charge, one pass.
+		s.ep.Charge(total)
+		s.ep.Timed(func() {
+			for i, r := range runs {
+				runRange(r[0], r[1], ws[i])
+			}
+		})
+	} else {
+		// Split schedule: interior compute overlaps the in-flight ghosts,
+		// then the receives complete, then the boundary units run. The
+		// boundary charge is the exact remainder of the synchronous total,
+		// so Busy — and with it every status report and master decision —
+		// is bit-identical to the synchronous path; only idle (elapsed)
+		// time shrinks. Values match too: eligibility rules out reductions
+		// and in-place stencils, so unit results are order-independent, and
+		// interior units never read a ghost.
+		intDur := time.Duration(chargeInt * float64(s.cfg.FlopCost))
+		s.ep.Charge(intDur)
+		s.ep.Timed(func() {
+			for i, r := range runs {
+				runRange(r[0]+bw, r[1]-bw, ws[i])
+			}
+		})
+		s.completeGhosts(pend)
+		s.ep.Charge(total - intDur)
+		s.ep.Timed(func() {
+			for i, r := range runs {
+				ilo, ihi := r[0]+bw, r[1]-bw
+				if ihi <= ilo {
+					runRange(r[0], r[1], ws[i])
+					continue
+				}
+				runRange(r[0], ilo, ws[i])
+				runRange(ihi, r[1], ws[i])
+			}
+		})
+		s.overlapRounds++
+	}
 	s.unitsDone += float64(count)
 	switch {
 	case ak != nil:
@@ -629,6 +765,17 @@ func (s *slave) execOwned(st *compile.OwnedLoop) {
 // owned run is split across cores; below it goroutine startup dominates
 // the compute it buys.
 const kernelParMinFlops = 20000
+
+// drainPending completes deferred ghost receives on a carrier loop that
+// ran no interior work (nothing owned in range this round): the overlap
+// bought nothing, which counts as a fallback round.
+func (s *slave) drainPending(pend []*compile.Exchange) {
+	if len(pend) == 0 {
+		return
+	}
+	s.completeGhosts(pend)
+	s.overlapFallback++
+}
 
 func (s *slave) execOwnerBlock(st *compile.OwnerBlock) {
 	if s.ff {
@@ -666,23 +813,58 @@ func (s *slave) execAll(st *compile.AllStmts) {
 
 // execExchange performs the sweep-start ghost exchange: whole-unit
 // transfers of old boundary values (paper Figure 3a's first send/receive).
+// Split-loop eligible exchanges (with overlap enabled) only post their
+// sends here; the receives are deferred to the carrier loop's execOwned,
+// which runs its interior units first so the round-trip hides behind
+// compute. The send order is identical either way, and the deferred
+// receives drain each (sender, tag) mailbox in the same order the
+// synchronous path would, so the data flow — and every value — matches the
+// synchronous schedule exactly.
 func (s *slave) execExchange(st *compile.Exchange) {
 	if s.ff {
 		return
 	}
+	s.sendGhosts(st)
+	if s.overlapOn && st.Overlap && st.Carrier != nil {
+		s.pending[st.Carrier] = append(s.pending[st.Carrier], st)
+		return
+	}
+	s.recvGhosts(st)
+}
+
+// sendGhosts posts one exchange's boundary-unit sends.
+func (s *slave) sendGhosts(st *compile.Exchange) {
 	arr := s.inst.Arrays[st.Array]
 	dim := s.exec.Plan.DistArrays[st.Array]
 	tag := "ghost:" + st.Array
-	for _, sp := range ghostSupplies(s.own, s.id, st.Delta) {
+	for _, sp := range s.ghostSuppliesCached(st.Delta) {
 		vals := unitSlice(arr, dim, sp.Unit)
 		s.send(sp.To, tag, floatsBytes(len(vals)), SliceMsg{Unit: sp.Unit, RowLo: -1, RowHi: -1, Vals: vals})
 	}
-	for _, g := range ghostNeeds(s.own, s.id, st.Delta) {
+}
+
+// recvGhosts completes one exchange's ghost receives. The needs list is
+// stable between posting and completion: ownership and the active set only
+// change at hooks, and compile-time eligibility guarantees no hook sits
+// between an overlapped exchange and its carrier loop.
+func (s *slave) recvGhosts(st *compile.Exchange) {
+	arr := s.inst.Arrays[st.Array]
+	dim := s.exec.Plan.DistArrays[st.Array]
+	tag := "ghost:" + st.Array
+	for _, g := range s.ghostNeedsCached(st.Delta) {
 		m := s.recvPeer(s.own.OwnerOf(g), tag).Data.(SliceMsg)
 		if m.Unit != g {
 			panic(fmt.Sprintf("slave%d: ghost mismatch: got unit %d, want %d", s.id, m.Unit, g))
 		}
 		setUnitSlice(arr, dim, g, m.Vals)
+	}
+}
+
+// completeGhosts drains a carrier's deferred exchange receives in posting
+// order.
+func (s *slave) completeGhosts(pend []*compile.Exchange) {
+	for _, st := range pend {
+		s.recvGhosts(st)
 	}
 }
 
@@ -695,7 +877,7 @@ func (s *slave) execPipeRecv(st *compile.PipeRecv) {
 	arr := s.inst.Arrays[st.Array]
 	dim := s.exec.Plan.DistArrays[st.Array]
 	tag := "pipe:" + st.Array
-	for _, g := range ghostNeeds(s.own, s.id, st.Delta) {
+	for _, g := range s.ghostNeedsCached(st.Delta) {
 		m := s.recvPeer(s.own.OwnerOf(g), tag).Data.(SliceMsg)
 		if m.Unit != g || m.RowLo != s.blockLo {
 			panic(fmt.Sprintf("slave%d: pipe mismatch: got unit %d rows [%d,%d), want unit %d rows [%d,%d)",
@@ -714,14 +896,25 @@ func (s *slave) execPipeSend(st *compile.PipeSend) {
 	arr := s.inst.Arrays[st.Array]
 	dim := s.exec.Plan.DistArrays[st.Array]
 	tag := "pipe:" + st.Array
-	for _, sp := range ghostSupplies(s.own, s.id, -st.Delta) {
+	for _, sp := range s.ghostSuppliesCached(-st.Delta) {
 		vals := unitSliceRows(arr, dim, sp.Unit, st.RowDim, s.blockLo, s.blockHi)
 		s.send(sp.To, tag, floatsBytes(len(vals)),
 			SliceMsg{Unit: sp.Unit, RowLo: s.blockLo, RowHi: s.blockHi, Vals: vals})
 	}
 }
 
-// execBcast broadcasts one unit from its owner to everyone else (§4.6).
+// flatBcast forces the legacy owner-sends-to-everyone broadcast. It exists
+// for the differential test that pins the binomial tree's results to the
+// flat path's.
+var flatBcast = false
+
+// execBcast broadcasts one unit from its owner to everyone else (§4.6)
+// along a binomial tree over the alive roster: the owner seeds the relay
+// and every receiver forwards to the peers in its subtree, so the critical
+// path is O(log P) messages instead of the owner serializing P−1 sends.
+// Every slave derives the identical tree from the shared ownership and
+// alive state, and the payload is relayed verbatim, so the received values
+// are bit-identical to the flat path.
 func (s *slave) execBcast(st *compile.Bcast) {
 	if s.ff {
 		return
@@ -734,25 +927,81 @@ func (s *slave) execBcast(st *compile.Bcast) {
 	dim := s.exec.Plan.DistArrays[st.Array]
 	tag := "bcast:" + st.Array
 	owner := s.own.OwnerOf(idx)
-	if owner == s.id {
-		// unitSlice already returns a fresh snapshot and receivers only
-		// copy out of Vals, so one shared payload serves every peer — no
-		// per-message defensive copy.
-		vals := unitSlice(arr, dim, idx)
-		for other := 0; other < s.own.Slaves(); other++ {
-			if other == s.id || !s.peerAlive(other) {
-				continue
+	if flatBcast {
+		if owner == s.id {
+			// unitSlice already returns a fresh snapshot and receivers only
+			// copy out of Vals, so one shared payload serves every peer — no
+			// per-message defensive copy.
+			vals := unitSlice(arr, dim, idx)
+			for other := 0; other < s.own.Slaves(); other++ {
+				if other == s.id || !s.peerAlive(other) {
+					continue
+				}
+				s.send(other, tag, floatsBytes(len(vals)),
+					SliceMsg{Unit: idx, RowLo: -1, RowHi: -1, Vals: vals})
 			}
-			s.send(other, tag, floatsBytes(len(vals)),
-				SliceMsg{Unit: idx, RowLo: -1, RowHi: -1, Vals: vals})
+			return
 		}
+		m := s.recvPeer(owner, tag).Data.(SliceMsg)
+		if m.Unit != idx {
+			panic(fmt.Sprintf("slave%d: bcast mismatch: got unit %d, want %d", s.id, m.Unit, idx))
+		}
+		setUnitSlice(arr, dim, idx, m.Vals)
 		return
 	}
-	m := s.recvPeer(owner, tag).Data.(SliceMsg)
-	if m.Unit != idx {
-		panic(fmt.Sprintf("slave%d: bcast mismatch: got unit %d, want %d", s.id, m.Unit, idx))
+
+	// Alive roster in id order; ranks are relative to the owner's position
+	// so the owner is the tree root (relative rank 0).
+	peers := make([]int, 0, s.own.Slaves())
+	myPos, rootPos := -1, -1
+	for o := 0; o < s.own.Slaves(); o++ {
+		if o != s.id && !s.peerAlive(o) {
+			continue
+		}
+		if o == s.id {
+			myPos = len(peers)
+		}
+		if o == owner {
+			rootPos = len(peers)
+		}
+		peers = append(peers, o)
 	}
-	setUnitSlice(arr, dim, idx, m.Vals)
+	if rootPos < 0 {
+		// Owner not alive in our view: recovery will rewind this epoch.
+		return
+	}
+	n := len(peers)
+	rel := (myPos - rootPos + n) % n
+
+	var vals []float64
+	if rel == 0 {
+		vals = unitSlice(arr, dim, idx)
+	}
+	// Receive phase: find the lowest set bit of our relative rank — the
+	// peer rel−mask sends to us.
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			src := peers[(rel-mask+rootPos)%n]
+			m := s.recvPeer(src, tag).Data.(SliceMsg)
+			if m.Unit != idx {
+				panic(fmt.Sprintf("slave%d: bcast mismatch: got unit %d, want %d", s.id, m.Unit, idx))
+			}
+			setUnitSlice(arr, dim, idx, m.Vals)
+			vals = m.Vals
+			break
+		}
+		mask <<= 1
+	}
+	// Relay phase: forward down the subtree, halving the mask. The payload
+	// is shared — receivers only copy out of Vals.
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if rel+mask < n {
+			dst := peers[(rel+mask+rootPos)%n]
+			s.send(dst, tag, floatsBytes(len(vals)),
+				SliceMsg{Unit: idx, RowLo: -1, RowHi: -1, Vals: vals})
+		}
+	}
 }
 
 func (s *slave) deactivateOutside(lo, hi int) {
@@ -1040,9 +1289,11 @@ func (s *slave) runTree() {
 		HookIndex:     s.hookVisit,
 		Done:          true,
 		Epoch:         s.epoch,
-		AotUnits:      s.aotUnits,
-		KernelUnits:   s.kernelUnits,
-		FallbackUnits: s.fallbackUnits,
+		AotUnits:        s.aotUnits,
+		KernelUnits:     s.kernelUnits,
+		FallbackUnits:   s.fallbackUnits,
+		OverlapRounds:   s.overlapRounds,
+		OverlapFallback: s.overlapFallback,
 	}
 	if s.part != nil {
 		s.sendDoneHier(done)
@@ -1092,6 +1343,15 @@ func (s *slave) applyRecover(a AdoptMsg) {
 	s.skipInstrOnce = !s.cfg.Synchronous && a.Hook >= 0
 	s.unitsDone = 0
 	s.aotUnits, s.kernelUnits, s.fallbackUnits = 0, 0, 0
+	// Overlap rounds are replayed by the restarted epoch, so the counter
+	// resets with the other dispatch counters; abandoned rounds are not
+	// replayed as overlap (their in-flight ghosts died with the old
+	// epoch's tags), so the fallback count survives the restart.
+	if len(s.pending) > 0 {
+		s.pending = map[*compile.OwnedLoop][]*compile.Exchange{}
+		s.overlapFallback++
+	}
+	s.overlapRounds = 0
 	for i := range s.costAcc {
 		s.costAcc[i] = 0
 	}

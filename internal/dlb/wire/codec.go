@@ -40,7 +40,7 @@ const (
 // if the layout of any message changes (the handshake's ProtocolVersion
 // already gates incompatible deployments, this is a belt-and-suspenders
 // check against stream corruption).
-const binaryVersion = 2
+const binaryVersion = 3
 
 // Binary message type tags.
 const (
@@ -222,6 +222,8 @@ func putStatus(b []byte, s dlb.StatusMsg) []byte {
 	b = putI64(b, int(s.AotUnits))
 	b = putI64(b, int(s.KernelUnits))
 	b = putI64(b, int(s.FallbackUnits))
+	b = putI64(b, int(s.OverlapRounds))
+	b = putI64(b, int(s.OverlapFallback))
 	b = putU32(b, uint32(len(s.CostBlocks)))
 	for _, cb := range s.CostBlocks {
 		b = putI64(b, cb.Lo)
@@ -592,10 +594,10 @@ func (r *binReader) ownedMap() (map[string]map[int][]float64, error) {
 	return m, nil
 }
 
-// statusSize is the minimum encoded size of one StatusMsg: 10 scalars, the
+// statusSize is the minimum encoded size of one StatusMsg: 12 scalars, the
 // Done bool, and the cost-block count prefix. Cost blocks (24 bytes each)
 // follow when present.
-const statusSize = 10*8 + 1 + 4
+const statusSize = 12*8 + 1 + 4
 
 // costBlockSize is the fixed encoded size of one CostBlock (Lo, Hi, PerUnit).
 const costBlockSize = 3 * 8
@@ -618,6 +620,9 @@ func (r *binReader) status() (dlb.StatusMsg, error) {
 	ku, _ := r.i64()
 	fu, _ := r.i64()
 	s.AotUnits, s.KernelUnits, s.FallbackUnits = int64(au), int64(ku), int64(fu)
+	or, _ := r.i64()
+	of, _ := r.i64()
+	s.OverlapRounds, s.OverlapFallback = int64(or), int64(of)
 	nb, err := r.count(costBlockSize)
 	if err != nil {
 		return s, err

@@ -64,7 +64,8 @@ func bulkMessages() []Envelope {
 				{Phase: 3, HookIndex: 40, Units: 12.5, Busy: 250 * time.Millisecond,
 					MoveCost: time.Millisecond, InterCost: 300 * time.Microsecond, Epoch: 1},
 				{Phase: 3, HookIndex: 40, Units: 11},
-				{Phase: 3, HookIndex: 40, Done: true, AotUnits: 12, KernelUnits: 96, FallbackUnits: 4},
+				{Phase: 3, HookIndex: 40, Done: true, AotUnits: 12, KernelUnits: 96, FallbackUnits: 4,
+					OverlapRounds: 7, OverlapFallback: 2},
 				{Phase: 3, HookIndex: 40, Units: 9.25, Busy: 260 * time.Millisecond,
 					CostBlocks: []dlb.CostBlock{{Lo: 0, Hi: 32, PerUnit: 1.5e-6}, {Lo: 40, Hi: 41, PerUnit: 0.012}}},
 			},

@@ -48,6 +48,12 @@ type RunSpec struct {
 	// "uniform"). Like Kernel it does not enter the plan hash — the plan
 	// is identical, only the master's weighting of it changes.
 	CostModel string
+	// Overlap gates the split-loop async ghost exchange
+	// (dlb.Config.Overlap: "on" or "off"; empty means "on"). Like Kernel
+	// it does not enter the plan hash — split-loop eligibility is recorded
+	// in the rendered plan source, the knob only gates whether the runtime
+	// uses it, and results are bit-identical either way.
+	Overlap string
 	// Groups, GroupExchangeEvery and GroupDiffusion select hierarchical
 	// two-level balancing (dlb.Config fields of the same names; zero values
 	// mean flat). Transport runs use the hierarchy decisions-only — reports

@@ -460,3 +460,49 @@ func TestPlane(t *testing.T) {
 		t.Errorf("JSON round trip lost rows: %d != %d", len(parsed.Rows), len(rep.Rows))
 	}
 }
+
+func TestOverlapSweep(t *testing.T) {
+	rep, err := Overlap(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 12 {
+		t.Fatalf("got %d rows, want 12 (2 progs x 3 costs x 2 slave counts)", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.Speedup < 0.999 {
+			t.Errorf("%s P=%d %s: overlap slower than sync (%.3fx)", r.Prog, r.Slaves, r.FlopCost, r.Speedup)
+		}
+		if r.Fallback != 0 {
+			t.Errorf("%s P=%d %s: unexpected overlap fallback (%d)", r.Prog, r.Slaves, r.FlopCost, r.Fallback)
+		}
+		switch r.Prog {
+		case "jacobi":
+			if r.Rounds == 0 {
+				t.Errorf("jacobi P=%d %s: no overlap rounds", r.Slaves, r.FlopCost)
+			}
+		case "sor":
+			if r.Rounds != 0 {
+				t.Errorf("sor P=%d %s: pipelined program overlapped (%d rounds)", r.Slaves, r.FlopCost, r.Rounds)
+			}
+			if r.Speedup != 1.0 {
+				t.Errorf("sor P=%d %s: speedup %.3fx, want exactly 1.0 (sync fallback)", r.Slaves, r.FlopCost, r.Speedup)
+			}
+		}
+	}
+	// The point of the optimization: at least one comm-bound jacobi config
+	// must show a real win.
+	if best := rep.Best["jacobi"]; best < 1.2 {
+		t.Errorf("best jacobi speedup %.2fx, want >= 1.2x", best)
+	}
+	if out := RenderOverlap(rep); !strings.Contains(out, "best speedup") {
+		t.Errorf("render missing best speedup:\n%s", out)
+	}
+	var parsed OverlapReport
+	if err := json.Unmarshal([]byte(OverlapJSON(rep)), &parsed); err != nil {
+		t.Fatalf("BENCH_overlap.json is not valid JSON: %v", err)
+	}
+	if len(parsed.Rows) != len(rep.Rows) {
+		t.Errorf("JSON round trip lost rows: %d != %d", len(parsed.Rows), len(rep.Rows))
+	}
+}

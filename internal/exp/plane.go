@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -33,6 +34,11 @@ type PlaneRow struct {
 // PlaneReport is the experiment's result: all rows plus the
 // baseline-over-optimized time ratios (">1" means the optimization wins).
 type PlaneReport struct {
+	// CPUs is runtime.NumCPU() on the measuring host: the codec and copy
+	// benchmarks are single-threaded, but a contended box skews ns/op, so
+	// the artifact records where it was measured.
+	CPUs     int                `json:"cpus"`
+	Note     string             `json:"note,omitempty"`
 	Rows     []PlaneRow         `json:"rows"`
 	Speedups map[string]float64 `json:"speedups"`
 }
@@ -140,7 +146,10 @@ func Plane(s Scale) (*PlaneReport, error) {
 		ckUnits, ckElems = 8, 100
 		side = 64
 	}
-	rep := &PlaneReport{Speedups: map[string]float64{}}
+	rep := &PlaneReport{CPUs: runtime.NumCPU(), Speedups: map[string]float64{}}
+	if rep.CPUs == 1 {
+		rep.Note = "single-CPU host: ns/op may include scheduler interference"
+	}
 	addPair := func(bench string, base, opt PlaneRow) {
 		rep.Rows = append(rep.Rows, base, opt)
 		if opt.NsPerOp > 0 {
@@ -229,7 +238,12 @@ func Plane(s Scale) (*PlaneReport, error) {
 func RenderPlane(rep *PlaneReport) string {
 	var sb strings.Builder
 	sb.WriteString("Data-plane microbenchmarks: binary bulk codec and contiguous-copy kernels\n")
-	sb.WriteString("(each pair: baseline first, optimized second; speedup = baseline/optimized)\n\n")
+	sb.WriteString("(each pair: baseline first, optimized second; speedup = baseline/optimized)\n")
+	fmt.Fprintf(&sb, "host CPUs: %d", rep.CPUs)
+	if rep.Note != "" {
+		fmt.Fprintf(&sb, " — %s", rep.Note)
+	}
+	sb.WriteString("\n\n")
 	fmt.Fprintf(&sb, "%-18s %-8s %14s %12s %14s %10s\n",
 		"bench", "variant", "ns/op", "allocs/op", "payload B", "MB/s")
 	prev := ""

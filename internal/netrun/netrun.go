@@ -177,6 +177,7 @@ func specFromConfig(cfg dlb.Config, grain int, hbEvery time.Duration) wire.RunSp
 		Cores:              cfg.Cores,
 		Kernel:             cfg.Kernel,
 		CostModel:          cfg.CostModel,
+		Overlap:            cfg.Overlap,
 		Groups:             cfg.Groups,
 		GroupExchangeEvery: cfg.GroupExchangeEvery,
 		GroupDiffusion:     cfg.GroupDiffusion,
@@ -209,6 +210,7 @@ func configFromSpec(spec wire.RunSpec) (dlb.Config, error) {
 		Cores:              spec.Cores,
 		Kernel:             spec.Kernel,
 		CostModel:          spec.CostModel,
+		Overlap:            spec.Overlap,
 		Groups:             spec.Groups,
 		GroupExchangeEvery: spec.GroupExchangeEvery,
 		GroupDiffusion:     spec.GroupDiffusion,
